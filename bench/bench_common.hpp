@@ -1,0 +1,19 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace smac::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_ref,
+                         const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace smac::bench

@@ -1,0 +1,68 @@
+// Substrate validation against Bianchi (2000) — the model the paper
+// builds on (its reference [1]).
+//
+// Bianchi's JSAC paper reports saturation throughput for these exact
+// parameters. Classic anchor points (figures 6-7 there): basic access
+// with W = 32, m = 5 yields S ≈ 0.85 → 0.80 falling in n; W = 32, m = 3
+// slightly below; RTS/CTS stays ≈ 0.82-0.84 nearly flat in n. This
+// harness regenerates those curves from our chain + simulator to certify
+// the substrate independently of the game layer.
+#include <cstdio>
+
+#include "analytical/throughput.hpp"
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Substrate validation: Bianchi (2000) saturation throughput",
+      "paper ref [1], figures 6-7 anchor points",
+      "S vs n; model = extended chain, sim = slot simulator (200k slots).");
+
+  phy::Parameters params = phy::Parameters::paper();
+
+  util::TextTable table({"config", "n", "S (model)", "S (sim)", "delta"});
+  struct Setup {
+    const char* name;
+    phy::AccessMode mode;
+    int w;
+    int m;
+  };
+  const Setup setups[] = {
+      {"basic W=32 m=5", phy::AccessMode::kBasic, 32, 5},
+      {"basic W=32 m=3", phy::AccessMode::kBasic, 32, 3},
+      {"basic W=128 m=3", phy::AccessMode::kBasic, 128, 3},
+      {"rts/cts W=32 m=5", phy::AccessMode::kRtsCts, 32, 5},
+  };
+  for (const Setup& setup : setups) {
+    params.max_backoff_stage = setup.m;
+    for (int n : {5, 10, 20, 50}) {
+      const auto model = analytical::homogeneous_channel_metrics(
+          setup.w, n, params, setup.mode);
+      sim::SimConfig config;
+      config.params = params;
+      config.mode = setup.mode;
+      config.seed = 0xb1a2c1 + static_cast<std::uint64_t>(n);
+      sim::Simulator simulator(config,
+                               std::vector<int>(static_cast<std::size_t>(n),
+                                                setup.w));
+      const auto r = simulator.run_slots(200000);
+      table.add_row({setup.name, std::to_string(n),
+                     util::fmt_double(model.throughput, 4),
+                     util::fmt_double(r.throughput, 4),
+                     util::fmt_double(r.throughput - model.throughput, 4)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expectation: model and sim agree to ~0.01 everywhere; basic-access\n"
+      "S starts ~0.82-0.85 at n = 5 and decays with n (more so for small\n"
+      "m); RTS/CTS stays nearly flat around ~0.82 — Bianchi's headline\n"
+      "qualitative results.\n");
+  return 0;
+}

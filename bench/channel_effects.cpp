@@ -1,0 +1,119 @@
+// Ablation — channel realism: packet errors, capture, backoff laws.
+//
+// The paper assumes an ideal channel (no noise, no capture) and BEB.
+// This harness quantifies how each relaxation moves the headline objects:
+// the efficient NE window, its utility, throughput, and fairness.
+#include <cstdio>
+#include <vector>
+
+#include "analytical/utility.hpp"
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "util/optimize.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace smac;
+
+int exact_ne(const phy::Parameters& params, int n) {
+  const auto r = util::ternary_int_max(
+      [&](std::int64_t w) {
+        return analytical::homogeneous_utility_rate(
+            static_cast<double>(w), n, params, phy::AccessMode::kBasic);
+      },
+      1, params.w_max);
+  return static_cast<int>(r.x);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Channel-realism ablations: PER, capture, backoff law",
+      "paper §III idealizations relaxed one axis at a time",
+      "Basic access, n = 10 unless noted.");
+
+  const phy::Parameters base = phy::Parameters::paper();
+
+  // 1. PER sweep: NE window and achievable utility.
+  util::TextTable per_table({"PER", "W_c*", "u at W_c*", "vs clean %"});
+  const double u_clean = analytical::homogeneous_utility_rate(
+      exact_ne(base, 10), 10, base, phy::AccessMode::kBasic);
+  for (double per : {0.0, 0.05, 0.15, 0.3, 0.5}) {
+    phy::Parameters params = base;
+    params.packet_error_rate = per;
+    const int w_star = exact_ne(params, 10);
+    const double u = analytical::homogeneous_utility_rate(
+        w_star, 10, params, phy::AccessMode::kBasic);
+    per_table.add_row({util::fmt_double(per, 2), std::to_string(w_star),
+                       util::fmt_double(u * 1e6, 3) + "e-6",
+                       util::fmt_double(u / u_clean * 100.0, 1)});
+  }
+  std::printf("%s\n", per_table.to_string().c_str());
+
+  // 2. Capture sweep: throughput and the aggressor's premium (one node at
+  //    W/8 among conformers at the NE window).
+  const int w_star = exact_ne(base, 10);
+  util::TextTable cap_table({"capture p", "throughput", "aggr. premium x"});
+  for (double cap : {0.0, 0.25, 0.5, 0.9}) {
+    sim::SimConfig config;
+    config.seed = 77;
+    config.capture_probability = cap;
+    std::vector<int> profile(10, w_star);
+    profile[0] = std::max(1, w_star / 8);
+    sim::Simulator sim(config, profile);
+    const auto r = sim.run_slots(300000);
+    cap_table.add_row({util::fmt_double(cap, 2),
+                       util::fmt_double(r.throughput, 3),
+                       util::fmt_double(r.payoff_rate[0] / r.payoff_rate[1],
+                                        2)});
+  }
+  std::printf("%s\n", cap_table.to_string().c_str());
+
+  // 3. Backoff-law fairness at two horizons.
+  util::TextTable law_table({"policy", "Jain (500 slots)",
+                             "Jain (20k slots)", "throughput"});
+  for (auto policy : {sim::BackoffPolicy::kBinaryExponential,
+                      sim::BackoffPolicy::kMild,
+                      sim::BackoffPolicy::kConstant}) {
+    auto jain_at = [&](std::uint64_t slots) {
+      util::RunningStats acc;
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        sim::SimConfig config;
+        config.seed = 200 + seed;
+        config.backoff_policy = policy;
+        sim::Simulator sim(config, std::vector<int>(10, 16));
+        const auto r = sim.run_slots(slots);
+        std::vector<double> succ;
+        for (const auto& node : r.node) {
+          succ.push_back(static_cast<double>(node.successes));
+        }
+        acc.add(util::jain_fairness(succ));
+      }
+      return acc.mean();
+    };
+    sim::SimConfig config;
+    config.seed = 300;
+    config.backoff_policy = policy;
+    sim::Simulator sim(config, std::vector<int>(10, 16));
+    const char* name = policy == sim::BackoffPolicy::kBinaryExponential
+                           ? "BEB (802.11)"
+                           : policy == sim::BackoffPolicy::kMild
+                                 ? "MILD (MACAW)"
+                                 : "constant";
+    law_table.add_row({name, util::fmt_double(jain_at(500), 3),
+                       util::fmt_double(jain_at(20000), 3),
+                       util::fmt_double(sim.run_slots(100000).throughput, 3)});
+  }
+  std::printf("%s\n", law_table.to_string().c_str());
+  std::printf(
+      "Expectation: PER drags W_c* *down* (escalation suppresses tau; a\n"
+      "smaller window restores the channel-optimal attempt rate) and costs\n"
+      "utility roughly linearly; capture raises throughput but *softens*\n"
+      "the aggressor's premium (uniform capture shares contested slots);\n"
+      "MILD is fairer than BEB at short horizons and less fair at long\n"
+      "ones, with comparable throughput.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 3 — normalized global payoff U/C versus common CW, RTS/CTS.
+//
+// Same axes as Figure 2 but under the RTS/CTS handshake. The paper uses
+// this figure to make two points: the efficient NE still maximizes the
+// global payoff, and the curve is even flatter than in the basic case —
+// near-independence of the payoff from the CW, which §VI.A leans on for
+// the multi-hop p_hn approximation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "game/equilibrium.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace smac;
+
+std::vector<int> log_grid(int lo, int hi, int points) {
+  std::vector<int> grid;
+  const double ratio =
+      std::pow(static_cast<double>(hi) / lo, 1.0 / (points - 1));
+  double w = lo;
+  for (int i = 0; i < points; ++i) {
+    const int wi = std::max(lo, std::min(hi, static_cast<int>(w + 0.5)));
+    if (grid.empty() || grid.back() != wi) grid.push_back(wi);
+    w *= ratio;
+  }
+  return grid;
+}
+
+std::string ascii_bar(double value, double peak, int width = 48) {
+  const int len =
+      value <= 0.0 ? 0 : static_cast<int>(value / peak * width + 0.5);
+  return std::string(static_cast<std::size_t>(std::max(0, len)), '#');
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3: normalized global payoff U/C vs common CW — RTS/CTS",
+      "paper Figure 3",
+      "Series for n = 5/20/50. Flatter than Figure 2: collisions cost only\n"
+      "an RTS, so over-aggressive windows are barely punished.");
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const game::StageGame game(params, phy::AccessMode::kRtsCts);
+  const game::StageGame basic_game(params, phy::AccessMode::kBasic);
+  const std::vector<int> ns{5, 20, 50};
+
+  util::CsvWriter csv("fig3_payoff_rtscts.csv", {"n", "w", "u_over_c"});
+  for (int n : ns) {
+    const game::EquilibriumFinder finder(game, n);
+    const int w_star = finder.efficient_cw();
+    const std::vector<int> grid = log_grid(2, 16 * w_star, 28);
+    std::vector<double> payoff;
+    double peak = 0.0;
+    for (int w : grid) {
+      const double v = game.normalized_global_payoff(w, n);
+      payoff.push_back(v);
+      peak = std::max(peak, v);
+      csv.add_row({static_cast<double>(n), static_cast<double>(w), v});
+    }
+
+    std::printf("--- n = %d (W_c* = %d, U/C at peak = %.4f) ---\n", n, w_star,
+                game.normalized_global_payoff(w_star, n));
+    util::TextTable table({"W", "U/C", "profile"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      table.add_row({std::to_string(grid[i]), util::fmt_double(payoff[i], 4),
+                     ascii_bar(payoff[i], peak)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Flatness comparison against Figure 2 at the same n: payoff retained
+    // when operating at 4× the efficient window.
+    const int w4 = 4 * w_star;
+    const double keep_rts =
+        game.normalized_global_payoff(w4, n) /
+        game.normalized_global_payoff(w_star, n);
+    const game::EquilibriumFinder basic_finder(basic_game, n);
+    const int wb = basic_finder.efficient_cw();
+    const double keep_basic =
+        basic_game.normalized_global_payoff(4 * wb, n) /
+        basic_game.normalized_global_payoff(wb, n);
+    std::printf("payoff retained at 4x W_c*: rts-cts %.1f%% vs basic %.1f%%\n\n",
+                keep_rts * 100.0, keep_basic * 100.0);
+  }
+  std::printf("Series written to fig3_payoff_rtscts.csv\n");
+  std::printf(
+      "Expectation: peaks at Table III windows; RTS/CTS retains more payoff\n"
+      "away from the peak than basic access at every n.\n");
+  return 0;
+}

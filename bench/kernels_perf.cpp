@@ -1,0 +1,139 @@
+// Microbenchmarks of the numerical kernels (google-benchmark).
+//
+// DESIGN.md design-choice ablations: damped fixed-point cost vs n and
+// damping factor, the scalar homogeneous fast path vs the vector solver,
+// ternary vs exhaustive argmax, and raw simulator slot throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analytical/fixed_point_solver.hpp"
+#include "analytical/utility.hpp"
+#include "game/equilibrium.hpp"
+#include "sim/simulator.hpp"
+#include "multihop/multihop_simulator.hpp"
+#include "sim/cw_estimator.hpp"
+#include "util/optimize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace smac;
+
+void BM_SolveNetworkHeterogeneous(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> profile(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    profile[static_cast<std::size_t>(i)] = 16 << (i % 6);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::solve_network(profile, 6));
+  }
+}
+BENCHMARK(BM_SolveNetworkHeterogeneous)->Arg(5)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SolveNetworkDampingAblation(benchmark::State& state) {
+  const double damping = static_cast<double>(state.range(0)) / 100.0;
+  const std::vector<int> profile(20, 32);
+  analytical::SolverOptions opts;
+  opts.damping = damping;
+  int iterations = 0;
+  for (auto _ : state) {
+    const auto r = analytical::solve_network(profile, 6, opts);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_SolveNetworkDampingAblation)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_HomogeneousScalarPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::solve_network_homogeneous(64, n, 6));
+  }
+}
+BENCHMARK(BM_HomogeneousScalarPath)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_EfficientCwTernary(benchmark::State& state) {
+  const phy::Parameters params = phy::Parameters::paper();
+  for (auto _ : state) {
+    // Fresh game each iteration: measures the uncached search.
+    const game::StageGame game(params, phy::AccessMode::kBasic);
+    const game::EquilibriumFinder finder(game, 20);
+    benchmark::DoNotOptimize(finder.efficient_cw());
+  }
+}
+BENCHMARK(BM_EfficientCwTernary);
+
+void BM_EfficientCwExhaustive(benchmark::State& state) {
+  const phy::Parameters params = phy::Parameters::paper();
+  for (auto _ : state) {
+    const game::StageGame game(params, phy::AccessMode::kBasic);
+    const auto r = util::exhaustive_int_max(
+        [&](std::int64_t w) {
+          return game.homogeneous_utility_rate(static_cast<int>(w), 20);
+        },
+        1, params.w_max);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EfficientCwExhaustive);
+
+void BM_SimulatorSlots(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::SimConfig config;
+  config.seed = 9;
+  sim::Simulator simulator(config, std::vector<int>(
+                                       static_cast<std::size_t>(n), 64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run_slots(10000));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorSlots)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_MultihopSimulatorSlots(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  std::vector<multihop::Vec2> pos;
+  for (int i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)});
+  }
+  multihop::MultihopConfig config;
+  config.seed = 6;
+  multihop::MultihopSimulator sim(
+      config, multihop::Topology(pos, 250.0),
+      std::vector<int>(static_cast<std::size_t>(n), 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_slots(2000));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MultihopSimulatorSlots)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_EstimateWindows(benchmark::State& state) {
+  sim::SimConfig config;
+  config.seed = 8;
+  sim::Simulator simulator(config, std::vector<int>(20, 64));
+  const auto observed = simulator.run_slots(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_windows(observed, 6));
+  }
+}
+BENCHMARK(BM_EstimateWindows);
+
+void BM_TopologyConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(9);
+  std::vector<multihop::Vec2> pos;
+  for (int i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multihop::Topology(pos, 250.0));
+  }
+}
+BENCHMARK(BM_TopologyConstruction)->Arg(100)->Arg(300);
+
+}  // namespace

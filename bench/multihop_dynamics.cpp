@@ -1,0 +1,96 @@
+// Multi-hop TFT dynamics under mobility (paper §VI convergence argument).
+//
+// §VI argues windows converge to the global minimum "after sufficiently
+// long time as long as the network is not partitioned", with contagion
+// spreading one hop per stage. This harness plays the dynamics on the
+// spatial simulator and measures: stages to convergence vs topology
+// diameter (static), and the effect of mobility speed — movement both
+// carries minima across partitions and keeps re-wiring who observes whom.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "game/stage_game.hpp"
+#include "multihop/adaptive.hpp"
+#include "multihop/local_game.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Multi-hop TFT dynamics: convergence vs diameter and mobility",
+      "paper §VI (contagion of the minimum window)",
+      "RTS/CTS, local-NE seeds, slot-level spatial simulator.");
+
+  const game::StageGame game(phy::Parameters::paper(),
+                             phy::AccessMode::kRtsCts);
+
+  // 1. Static: stages-to-stable tracks the hop distance from the minimum.
+  util::TextTable static_table({"chain length", "diameter", "stable from",
+                                "W_m"});
+  for (int n : {4, 8, 12, 16}) {
+    std::vector<multihop::Vec2> pos;
+    for (int i = 0; i < n; ++i) pos.push_back({i * 200.0, 0.0});
+    const multihop::Topology topo(pos, 250.0);
+    std::vector<int> seed(static_cast<std::size_t>(n), 60);
+    seed[0] = 15;  // minimum at one end
+    multihop::MultihopConfig config;
+    config.seed = 7;
+    multihop::MultihopSimulator sim(config, topo, seed);
+    multihop::MultihopTftConfig tft;
+    tft.slots_per_stage = 8000;
+    tft.stages = n + 2;
+    const auto result = multihop::play_multihop_tft(sim, nullptr, tft);
+    static_table.add_row({std::to_string(n),
+                          std::to_string(topo.diameter()),
+                          std::to_string(result.stable_from),
+                          std::to_string(result.converged_cw.value_or(-1))});
+  }
+  std::printf("%s\n", static_table.to_string().c_str());
+
+  // 2. Mobile: 30 nodes, sparse (sometimes partitioned) field; how fast
+  //    does the global minimum reach everyone as speed grows?
+  util::TextTable mobile_table({"speed (m/s)", "stages run",
+                                "uniform at end", "final min W",
+                                "final max W"});
+  for (double v_max : {0.0, 2.0, 8.0, 20.0}) {
+    multihop::MobilityConfig mob;
+    mob.width_m = 1200.0;
+    mob.height_m = 1200.0;
+    mob.v_min_mps = 0.0;
+    mob.v_max_mps = std::max(v_max, 1e-9);
+    mob.seed = 11;
+    multihop::RandomWaypointModel mobility(mob, 30);
+
+    multihop::MultihopConfig config;
+    config.seed = 13;
+    const multihop::Topology topo0(mobility.positions(), config.range_m);
+    const auto seeds = multihop::local_efficient_cw(topo0, game);
+    multihop::MultihopSimulator sim(config, topo0, seeds);
+
+    multihop::MultihopTftConfig tft;
+    tft.slots_per_stage = 6000;
+    tft.stages = 40;
+    tft.mobility_dt_s = v_max > 0.0 ? 20.0 : 0.0;
+    const auto result = multihop::play_multihop_tft(sim, &mobility, tft);
+
+    const auto& last = result.stages.back().cw;
+    mobile_table.add_row(
+        {util::fmt_double(v_max, 1), std::to_string(result.stages.size()),
+         result.converged_cw ? "yes" : "no",
+         std::to_string(*std::min_element(last.begin(), last.end())),
+         std::to_string(*std::max_element(last.begin(), last.end()))});
+  }
+  std::printf("%s\n", mobile_table.to_string().c_str());
+  std::printf(
+      "Expectation: static chains stabilize in exactly diameter stages (one\n"
+      "hop of contagion per stage); on the sparse mobile field a static\n"
+      "snapshot can stay non-uniform (partitions keep their own minima)\n"
+      "while increasing speed mixes partitions and drives the profile to\n"
+      "the global minimum.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Theorem 2 verification — the NE band [W_c0, W_c*] under TFT threats.
+//
+// Theorem 2: every common window in [W_c0, W_c*] is a NE of the repeated
+// game. The proof rests on two facts — upward deviations lose immediately
+// (Lemma 4) and downward deviations lose after TFT retaliation when
+// players are long-sighted. This harness makes both quantitative: for
+// common windows across (and beyond) the band it reports the best
+// downward deviation's discounted gain at the paper's δ = 0.9999 and at a
+// short-sighted δ = 0.5, plus the upward-deviation stage loss.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "game/deviation.hpp"
+#include "game/equilibrium.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "The Nash band: deviation gains across common windows",
+      "paper Theorem 2 + Lemma 4 (numeric verification)",
+      "Basic access, n = 5, TFT reaction lag m = 1. Gains relative to\n"
+      "conforming payoff; NE requires <= 0 at delta -> 1.");
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const game::StageGame game(params, phy::AccessMode::kBasic);
+  const int n = 5;
+  const game::EquilibriumFinder finder(game, n);
+  const auto band = finder.nash_set();
+  std::printf("NE band: [%d, %d]\n\n", band.w_min_viable, band.w_efficient);
+
+  util::TextTable table({"W_c", "in band", "down-dev gain % (d=0.9999)",
+                         "down-dev gain % (d=0.5)",
+                         "up-dev stage loss %"});
+  const int w_star = band.w_efficient;
+  for (int w_c : {std::max(1, band.w_min_viable), w_star / 4, w_star / 2,
+                  3 * w_star / 4, w_star, w_star + w_star / 4,
+                  2 * w_star}) {
+    auto gain_at = [&](double delta) {
+      const auto best =
+          game::best_shortsighted_deviation(game, n, w_c, delta, 1);
+      return best.outcome.u_conform != 0.0
+                 ? best.outcome.gain / std::abs(best.outcome.u_conform) *
+                       100.0
+                 : 0.0;
+    };
+    const auto up = game::deviation_stage_payoffs(game, n, w_c, 2 * w_c);
+    const double up_loss =
+        (up.symmetric - up.deviator) / std::abs(up.symmetric) * 100.0;
+    table.add_row({std::to_string(w_c),
+                   band.contains(w_c) ? "yes" : "no",
+                   util::fmt_double(gain_at(0.9999), 4),
+                   util::fmt_double(gain_at(0.5), 2),
+                   util::fmt_double(up_loss, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expectation: inside the band the long-sighted deviation gain is\n"
+      "~0 or negative (no profitable deviation: NE), while delta = 0.5\n"
+      "yields large gains (short-sighted players defect, Sec. V.D); above\n"
+      "the band (W_c > W_c*) long-sighted downward deviation turns\n"
+      "profitable — those profiles are NOT equilibria, exactly where\n"
+      "Theorem 2 stops. Upward deviation always loses its stage payoff.\n");
+  return 0;
+}

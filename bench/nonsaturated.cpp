@@ -1,0 +1,76 @@
+// Ablation — relaxing the saturation assumption.
+//
+// The paper's model assumes every node always has a packet ready. This
+// harness measures how the selfish-MAC conclusions depend on that: with
+// Poisson sources below saturation, the channel has slack, aggression
+// stops paying (an undercutter gains little because success was already
+// cheap), and the efficient-NE window matters much less. Near/above the
+// saturation load the paper's regime re-emerges.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "game/equilibrium.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Saturation-assumption ablation (Poisson sources)",
+      "paper §III assumption ('the network is saturated')",
+      "Basic access, n = 10, W from the saturated-game NE = W_c*.");
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const game::StageGame game(params, phy::AccessMode::kBasic);
+  const int n = 10;
+  const int w_star = game::EquilibriumFinder(game, n).efficient_cw();
+  // Saturation throughput bound per node, packets/s: channel carries
+  // roughly one 8980 µs exchange at ~0.82 efficiency → ~11 pkt/s total.
+  std::printf("W_c* (saturated game) = %d\n\n", w_star);
+
+  util::TextTable table({"arrival (pkt/s/node)", "offered load",
+                         "throughput", "mean backlog", "collision rate",
+                         "undercutter gain %"});
+  for (double rate : {2.0, 5.0, 8.0, 11.0, 20.0}) {
+    const double offered = n * rate * params.payload_us() * 1e-6;
+
+    auto run = [&](int w0) {
+      sim::SimConfig config;
+      config.arrival_rate_pps = rate;
+      config.seed = 42;
+      std::vector<int> profile(n, w_star);
+      profile[0] = w0;
+      sim::Simulator simulator(config, profile);
+      return simulator.run_for(80.0 * 1e6);
+    };
+    const auto honest = run(w_star);
+    const auto undercut = run(std::max(1, w_star / 8));
+
+    double backlog = 0.0;
+    for (double b : honest.mean_backlog) backlog += b;
+    const double coll_rate =
+        static_cast<double>(honest.collision_slots) /
+        static_cast<double>(honest.success_slots + honest.collision_slots + 1);
+    const double gain =
+        honest.payoff_rate[0] != 0.0
+            ? (undercut.payoff_rate[0] - honest.payoff_rate[0]) /
+                  std::abs(honest.payoff_rate[0]) * 100.0
+            : 0.0;
+    table.add_row({util::fmt_double(rate, 1), util::fmt_double(offered, 2),
+                   util::fmt_double(honest.throughput, 3),
+                   util::fmt_double(backlog / n, 2),
+                   util::fmt_double(coll_rate, 3),
+                   util::fmt_double(gain, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expectation: below saturation (offered < ~0.8) throughput tracks the\n"
+      "offered load, queues and collisions stay tiny, and undercutting the\n"
+      "window buys almost nothing — selfishness is moot with slack. At and\n"
+      "above saturation the paper's regime returns: queues build and the\n"
+      "undercutter's gain turns decisively positive.\n");
+  return 0;
+}

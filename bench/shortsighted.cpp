@@ -1,0 +1,75 @@
+// §V.D — impact of short-sighted players.
+//
+// One deviator with discount δ_s plays W_s < W_c* while the other n−1
+// TFT players need m stages to retaliate; afterwards everyone sits on
+// W_s. The paper shows deviation pays only for small δ_s and that the
+// network as a whole loses. This harness reports, over a δ_s grid, the
+// deviator's best W_s, its relative gain, and the social-welfare damage;
+// plus the per-W_s critical discount thresholds.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "game/deviation.hpp"
+#include "game/equilibrium.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Short-sighted deviation analysis",
+      "paper §V.D (deviation pays iff the deviator discounts heavily)",
+      "Basic access, n = 5, W_c* from Table II, TFT reaction lag m = 1.");
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const game::StageGame game(params, phy::AccessMode::kBasic);
+  const int n = 5;
+  const game::EquilibriumFinder finder(game, n);
+  const int w_star = finder.efficient_cw();
+  std::printf("W_c* = %d\n\n", w_star);
+
+  // 1. Best deviation vs the deviator's discount factor.
+  util::TextTable by_delta({"delta_s", "best W_s", "gain %", "profitable",
+                            "welfare after TFT contagion %"});
+  for (double delta : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.9999}) {
+    const auto best =
+        game::best_shortsighted_deviation(game, n, w_star, delta, 1);
+    const double gain_pct =
+        best.outcome.u_conform != 0.0
+            ? best.outcome.gain / std::abs(best.outcome.u_conform) * 100.0
+            : 0.0;
+    const double welfare_pct =
+        game::malicious_welfare_ratio(game, n, w_star, best.w_s) * 100.0;
+    by_delta.add_row({util::fmt_double(delta, 4), std::to_string(best.w_s),
+                      util::fmt_double(gain_pct, 2),
+                      best.outcome.profitable ? "yes" : "no",
+                      util::fmt_double(welfare_pct, 1)});
+  }
+  std::printf("%s\n", by_delta.to_string().c_str());
+
+  // 2. Critical discount per deviation window and reaction lag.
+  util::TextTable crit({"W_s", "delta* (m=1)", "delta* (m=2)",
+                        "delta* (m=5)"});
+  for (int w_s : {w_star / 8, w_star / 4, w_star / 2, w_star * 3 / 4,
+                  w_star - 1}) {
+    crit.add_row({std::to_string(w_s),
+                  util::fmt_double(
+                      game::critical_discount(game, n, w_star, w_s, 1), 4),
+                  util::fmt_double(
+                      game::critical_discount(game, n, w_star, w_s, 2), 4),
+                  util::fmt_double(
+                      game::critical_discount(game, n, w_star, w_s, 5), 4)});
+  }
+  std::printf("%s\n", crit.to_string().c_str());
+  std::printf(
+      "Expectation: small delta_s -> aggressive deviation (W_s near 1) with\n"
+      "large gains and degraded welfare; as delta_s -> 1 the best deviation\n"
+      "retreats into the NE band [W_c0, W_c*] and its gain vanishes — the\n"
+      "paper's conclusion that long-sighted selfishness is harmless.\n"
+      "delta* rises with W_s -> W_c* (marginal deviations are cheap) and\n"
+      "with slower retaliation.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Strategy tournament — testing "TFT is the best strategy" (paper §IV).
+//
+// Invasion analysis over the paper's cast: can a population of strategy A
+// deter a lone B-mutant (mutant payoff vs the never-deviate
+// counterfactual, the §V.D / Theorem 2 notion)? Plus Axelrod-style
+// round-robin scores across mixes, and the deterrence horizon — the
+// number of stages at which TFT's collective punishment starts beating
+// the deviation jackpot.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "game/equilibrium.hpp"
+#include "game/replicator.hpp"
+#include "game/tournament.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace smac;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Strategy tournament: invasion resistance and round-robin scores",
+      "paper §IV (TFT as 'the best strategy'), §V.D deterrence boundary",
+      "Basic access, n = 5, delta = 0.9999, W* anchors the roster.");
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const game::StageGame game(params, phy::AccessMode::kBasic);
+  const int n = 5;
+  const int w_star = game::EquilibriumFinder(game, n).efficient_cw();
+  const auto roster = game::standard_roster(game, n, w_star);
+
+  // 1. Invasion matrix at a long horizon.
+  const game::Tournament tournament(game, n, 300);
+  const auto matrix = tournament.invasion_matrix(roster);
+  util::TextTable inv({"population \\ mutant", roster[0].name, roster[1].name,
+                       roster[2].name, roster[3].name});
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    std::vector<std::string> row{roster[i].name};
+    for (std::size_t j = 0; j < roster.size(); ++j) {
+      row.push_back(i == j ? "-" : (matrix[i][j] ? "resists" : "INVADED"));
+    }
+    inv.add_row(std::move(row));
+  }
+  std::printf("%s\n", inv.to_string().c_str());
+
+  // 2. Round-robin scores (mean per-member payoff across all mixes).
+  const auto scores = tournament.round_robin_scores(roster);
+  util::TextTable rr({"strategy", "round-robin score"});
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    rr.add_row({roster[i].name, util::fmt_double(scores[i], 0)});
+  }
+  std::printf("%s\n", rr.to_string().c_str());
+
+  // 3. Deterrence horizon: smallest stage count at which the TFT
+  //    population resists the short-sighted deviant.
+  const game::Contender mutant = roster[3];
+  const game::Contender resident = roster[0];
+  int horizon = -1;
+  for (int stages : {5, 10, 20, 40, 60, 80, 120, 200, 300}) {
+    const game::Tournament t(game, n, stages);
+    if (t.resists_invasion(resident, mutant)) {
+      horizon = stages;
+      break;
+    }
+  }
+  std::printf("deterrence horizon vs %s: TFT resists from ~%d stages "
+              "(~%d s of operation at T = 10 s)\n\n",
+              mutant.name.c_str(), horizon, horizon * 10);
+  // 4. Replicator dynamics: the evolutionary basin of TFT vs the deviant.
+  const game::ReplicatorDynamics dynamics(tournament);
+  const game::Contender& tft_c = roster[0];
+  const game::Contender& dev_c = roster[3];
+  util::TextTable evo({"initial TFT share", "final TFT share",
+                       "generations"});
+  for (double share0 : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const auto run = dynamics.run(tft_c, dev_c, share0, 800);
+    evo.add_row({util::fmt_double(share0, 2),
+                 util::fmt_double(run.final_share_a, 3),
+                 std::to_string(run.trajectory.size())});
+  }
+  std::printf("%s\n", evo.to_string().c_str());
+  // Locate the basin boundary by bisection on the fitness-gap sign.
+  double lo = 0.05;
+  double hi = 0.95;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto [fa, fb] = dynamics.expected_fitness(tft_c, dev_c, mid);
+    (fa < fb ? lo : hi) = mid;
+  }
+  std::printf("evolutionary basin boundary: TFT needs > %.0f%% initial "
+              "share to fixate\n\n", 100.0 * 0.5 * (lo + hi));
+
+  std::printf(
+      "Expectation: the TFT and GTFT rows resist every mutant while the\n"
+      "constant (never-punishing) population is INVADED by the\n"
+      "short-sighted deviant — the punishment, not the convention,\n"
+      "protects the NE. Round-robin scores rank the punishers above\n"
+      "constant; the deviant scores high in-game but its hosts pay for it.\n"
+      "The deterrence horizon quantifies 'long-sighted': interactions\n"
+      "must be expected to last ~minutes before selfishness is safe.\n"
+      "Replicator dynamics are bistable: TFT fixates from above the basin\n"
+      "boundary (deviants poison only their own games under random\n"
+      "matching) and goes extinct below it — evolution sustains the NE\n"
+      "only given a critical mass of cooperators.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Demo of the §V.C distributed search for the efficient NE.
+//
+// A WLAN of n stations does not know n, so nobody can compute W_c*
+// directly. One leader runs the paper's Start-Search / Ready protocol:
+// step the common window, measure own payoff over t_m, stop when it
+// drops, broadcast the winner. This demo prints the full measurement
+// trace so you can watch the hill climb.
+//
+// Build & run:  ./build/examples/cw_search_demo [n] [w_start]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "game/equilibrium.hpp"
+#include "sim/search_protocol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smac;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int w_start = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n < 2 || w_start < 1) {
+    std::fprintf(stderr, "usage: %s [n >= 2] [w_start >= 1]\n", argv[0]);
+    return 1;
+  }
+
+  const phy::Parameters params = phy::Parameters::paper();
+  const auto mode = phy::AccessMode::kRtsCts;
+  const game::StageGame game(params, mode);
+  const game::EquilibriumFinder finder(game, n);
+  const int w_star = finder.efficient_cw();
+  std::printf("%d stations (unknown to them), RTS/CTS; true W_c* = %d\n\n",
+              n, w_star);
+
+  sim::SimConfig config;
+  config.mode = mode;
+  config.seed = 2027;
+  sim::Simulator simulator(config,
+                           std::vector<int>(static_cast<std::size_t>(n),
+                                            w_start));
+
+  sim::SearchConfig search;
+  search.w_start = w_start;
+  search.settle_us = 2e5;    // t: settle after each Ready broadcast
+  search.measure_us = 1e7;   // t_m: payoff measurement window
+  search.patience = 3;
+  search.improvement_epsilon = 0.005;
+  const sim::SearchResult result = sim::run_search(simulator, 0, search);
+
+  std::printf("search trace (leader = station 0):\n");
+  for (const auto& point : result.trace) {
+    std::printf("  Ready(W=%3d) -> measured payoff %.4e %s\n", point.w,
+                point.measured_payoff_rate,
+                point.w == result.w_found ? "  <-- broadcast as W_m" : "");
+  }
+  const double u_found = game.homogeneous_utility_rate(result.w_found, n);
+  const double u_star = game.homogeneous_utility_rate(w_star, n);
+  std::printf("\nfound W_m = %d in %d Ready rounds (%.1f s of channel time, "
+              "left-search: %s)\n",
+              result.w_found, result.steps, result.elapsed_us / 1e6,
+              result.used_left_search ? "yes" : "no");
+  std::printf("model payoff at W_m: %.1f%% of the optimum — on the W_c* "
+              "plateau\n", u_found / u_star * 100.0);
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "analytical/fixed_point_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analytical/backoff_chain.hpp"
+#include "util/root_finding.hpp"
+
+namespace smac::analytical {
+
+namespace {
+
+/// p_i = 1 − Π_{j≠i}(1 − τ_j), all i, via prefix/suffix products: O(n),
+/// and exact even when some τ_j → 1 (no division by (1 − τ_i)).
+std::vector<double> collision_probabilities(const std::vector<double>& tau) {
+  const std::size_t n = tau.size();
+  std::vector<double> prefix(n + 1, 1.0);
+  std::vector<double> suffix(n + 1, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] * (1.0 - tau[i]);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    suffix[i] = suffix[i + 1] * (1.0 - tau[i]);
+  }
+  std::vector<double> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = 1.0 - prefix[i] * suffix[i + 1];
+    p[i] = std::clamp(p[i], 0.0, 1.0);
+  }
+  return p;
+}
+
+}  // namespace
+
+NetworkState solve_network(const std::vector<int>& w, int max_stage,
+                           const SolverOptions& opts,
+                           double packet_error_rate) {
+  if (w.empty()) throw std::invalid_argument("solve_network: empty profile");
+  for (int wi : w) {
+    if (wi < 1) throw std::invalid_argument("solve_network: window < 1");
+  }
+  if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
+    throw std::invalid_argument("solve_network: PER outside [0,1)");
+  }
+  const std::size_t n = w.size();
+  const double per = packet_error_rate;
+
+  // Fixed point over τ alone; p is recomputed from τ inside the map. The
+  // chain escalates on collisions *or* channel corruption.
+  auto F = [&](const std::vector<double>& tau) {
+    const std::vector<double> p = collision_probabilities(tau);
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fail = 1.0 - (1.0 - p[i]) * (1.0 - per);
+      next[i] = transmission_probability(w[i], fail, max_stage);
+    }
+    return next;
+  };
+
+  std::vector<double> tau0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tau0[i] = transmission_probability(w[i], 0.0, max_stage);
+  }
+
+  util::FixedPointOptions fp;
+  fp.damping = opts.damping;
+  fp.tolerance = opts.tolerance;
+  fp.max_iterations = opts.max_iterations;
+  util::FixedPointResult r = util::solve_fixed_point(F, std::move(tau0), fp);
+
+  NetworkState state;
+  state.tau = std::move(r.x);
+  state.p = collision_probabilities(state.tau);
+  state.converged = r.converged;
+  state.iterations = r.iterations;
+  state.residual = r.residual;
+  return state;
+}
+
+double homogeneous_tau(double w, int n, int max_stage,
+                       double packet_error_rate) {
+  if (n < 1) throw std::invalid_argument("homogeneous_tau: n < 1");
+  if (!(w >= 1.0)) throw std::invalid_argument("homogeneous_tau: w < 1");
+  if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
+    throw std::invalid_argument("homogeneous_tau: PER outside [0,1)");
+  }
+  const double per = packet_error_rate;
+  if (n == 1) return transmission_probability_cont(w, per, max_stage);
+
+  // Root of h(τ) = τ − τ(W, fail(τ)); h(0) < 0, h(1) >= 0.
+  auto h = [&](double tau) {
+    const double p = 1.0 - std::pow(1.0 - tau, n - 1);
+    const double fail = 1.0 - (1.0 - p) * (1.0 - per);
+    return tau - transmission_probability_cont(w, fail, max_stage);
+  };
+  if (h(1.0) == 0.0) return 1.0;  // degenerate W = 1, m = 0 case
+  const auto root = util::brent(h, 0.0, 1.0, {1e-15, 1e-15, 300});
+  if (!root || !root->converged) {
+    throw std::runtime_error("homogeneous_tau: root finding failed");
+  }
+  return root->x;
+}
+
+NetworkState solve_network_homogeneous(double w, int n, int max_stage,
+                                       double packet_error_rate) {
+  const double tau = homogeneous_tau(w, n, max_stage, packet_error_rate);
+  const double p =
+      n == 1 ? 0.0 : 1.0 - std::pow(1.0 - tau, n - 1);
+  NetworkState state;
+  state.tau.assign(static_cast<std::size_t>(n), tau);
+  state.p.assign(static_cast<std::size_t>(n), p);
+  state.converged = true;
+  state.iterations = 0;
+  state.residual = 0.0;
+  return state;
+}
+
+double window_for_tau(double tau_target, int n, int max_stage) {
+  if (!(tau_target > 0.0) || !(tau_target <= 1.0)) {
+    throw std::invalid_argument("window_for_tau: tau_target outside (0,1]");
+  }
+  // τ(w) is strictly decreasing in w; check the left edge first.
+  if (homogeneous_tau(1.0, n, max_stage) <= tau_target) return 1.0;
+
+  double hi = 2.0;
+  while (homogeneous_tau(hi, n, max_stage) > tau_target) {
+    hi *= 2.0;
+    if (hi > 1e9) {
+      throw std::runtime_error("window_for_tau: no window reaches target tau");
+    }
+  }
+  auto f = [&](double w) { return homogeneous_tau(w, n, max_stage) - tau_target; };
+  const auto root = util::brent(f, hi / 2.0, hi, {1e-9, 1e-14, 300});
+  if (!root) {
+    throw std::runtime_error("window_for_tau: bracketing failed");
+  }
+  return root->x;
+}
+
+}  // namespace smac::analytical

@@ -1,0 +1,60 @@
+// Network-level fixed point of the extended (heterogeneous) Bianchi model.
+//
+// Couples each node's backoff chain τ_i = τ(W_i, p_i) with the channel
+// feedback p_i = 1 − Π_{j≠i}(1 − τ_j) (paper eqs. 2–3): 2n equations in
+// (τ_1..τ_n, p_1..p_n). Nodes may hold *different* contention windows —
+// the selfish setting the paper models — so no symmetry reduction is
+// assumed in the general solver; a fast scalar path handles the
+// homogeneous case exactly.
+#pragma once
+
+#include <vector>
+
+#include "util/fixed_point.hpp"
+
+namespace smac::analytical {
+
+/// Solution of the coupled (τ, p) system for one CW profile.
+struct NetworkState {
+  std::vector<double> tau;  ///< per-node transmission probability
+  std::vector<double> p;    ///< per-node conditional collision probability
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;
+};
+
+struct SolverOptions {
+  double damping = 0.5;
+  double tolerance = 1e-13;
+  int max_iterations = 20000;
+};
+
+/// Solves the heterogeneous system for contention-window profile `w`
+/// (one entry per node, each >= 1) with maximum backoff stage `max_stage`.
+/// For n = 1 the collision probability is identically zero.
+/// Throws std::invalid_argument on empty or invalid profiles.
+/// `packet_error_rate` adds channel-noise losses: the backoff chain
+/// escalates on failure probability 1 − (1 − p_i)(1 − PER), while the
+/// returned NetworkState::p stays the *collision* probability (channel
+/// feedback), matching the utility u = τ((1−p)(1−PER)g − e)/T_slot.
+NetworkState solve_network(const std::vector<int>& w, int max_stage,
+                           const SolverOptions& opts = {},
+                           double packet_error_rate = 0.0);
+
+/// Homogeneous fast path: all n nodes on window `w`. Solved as a scalar
+/// root problem (Brent), typically ~40 evaluations, machine precision.
+/// `w` is continuous to support inverting τ ↦ W.
+NetworkState solve_network_homogeneous(double w, int n, int max_stage,
+                                       double packet_error_rate = 0.0);
+
+/// τ of the homogeneous fixed point only (cheap; used inside sweeps).
+double homogeneous_tau(double w, int n, int max_stage,
+                       double packet_error_rate = 0.0);
+
+/// Inverts the homogeneous model: the (continuous) window w such that the
+/// n-node fixed point transmits with probability `tau_target`. Monotone
+/// bisection over w ∈ [1, w_hi]; expands w_hi as needed. Returns w clamped
+/// to >= 1 when even w = 1 yields τ < tau_target.
+double window_for_tau(double tau_target, int n, int max_stage);
+
+}  // namespace smac::analytical

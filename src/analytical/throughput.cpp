@@ -1,0 +1,50 @@
+#include "analytical/throughput.hpp"
+
+#include <stdexcept>
+
+namespace smac::analytical {
+
+ChannelMetrics channel_metrics(const std::vector<double>& tau,
+                               const phy::Parameters& params,
+                               phy::AccessMode mode) {
+  if (tau.empty()) throw std::invalid_argument("channel_metrics: empty tau");
+  const std::size_t n = tau.size();
+  const phy::SlotTimes t = params.slot_times(mode);
+
+  // Π(1−τ_j) and the per-node leave-one-out products.
+  std::vector<double> prefix(n + 1, 1.0);
+  std::vector<double> suffix(n + 1, 1.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] * (1.0 - tau[i]);
+  for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] * (1.0 - tau[i]);
+  const double all_idle = prefix[n];
+
+  ChannelMetrics m;
+  m.p_tr = 1.0 - all_idle;
+  m.per_node_success.resize(n);
+  double p_success_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.per_node_success[i] = tau[i] * prefix[i] * suffix[i + 1];
+    p_success_total += m.per_node_success[i];
+  }
+  m.p_s = m.p_tr > 0.0 ? p_success_total / m.p_tr : 0.0;
+  m.t_slot_us = (1.0 - m.p_tr) * t.sigma_us + p_success_total * t.ts_us +
+                (m.p_tr - p_success_total) * t.tc_us;
+
+  const double payload_us = params.payload_us();
+  m.throughput = p_success_total * payload_us / m.t_slot_us;
+  m.per_node_throughput.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.per_node_throughput[i] = m.per_node_success[i] * payload_us / m.t_slot_us;
+  }
+  return m;
+}
+
+ChannelMetrics homogeneous_channel_metrics(double w, int n,
+                                           const phy::Parameters& params,
+                                           phy::AccessMode mode) {
+  const NetworkState state =
+      solve_network_homogeneous(w, n, params.max_backoff_stage);
+  return channel_metrics(state.tau, params, mode);
+}
+
+}  // namespace smac::analytical

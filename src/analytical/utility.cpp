@@ -1,0 +1,83 @@
+#include "analytical/utility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytical/throughput.hpp"
+#include "util/root_finding.hpp"
+
+namespace smac::analytical {
+
+std::vector<double> utility_rates(const NetworkState& state,
+                                  const phy::Parameters& params,
+                                  phy::AccessMode mode) {
+  if (state.tau.size() != state.p.size() || state.tau.empty()) {
+    throw std::invalid_argument("utility_rates: malformed network state");
+  }
+  const ChannelMetrics m = channel_metrics(state.tau, params, mode);
+  const double delivered = 1.0 - params.packet_error_rate;
+  std::vector<double> u(state.tau.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = state.tau[i] *
+           ((1.0 - state.p[i]) * delivered * params.gain - params.cost) /
+           m.t_slot_us;
+  }
+  return u;
+}
+
+double homogeneous_utility_rate(double w, int n, const phy::Parameters& params,
+                                phy::AccessMode mode) {
+  const NetworkState state = solve_network_homogeneous(
+      w, n, params.max_backoff_stage, params.packet_error_rate);
+  return utility_rates(state, params, mode).front();
+}
+
+double homogeneous_stage_utility(double w, int n,
+                                 const phy::Parameters& params,
+                                 phy::AccessMode mode) {
+  return homogeneous_utility_rate(w, n, params, mode) *
+         params.stage_duration_s * 1e6;
+}
+
+double homogeneous_discounted_utility(double w, int n,
+                                      const phy::Parameters& params,
+                                      phy::AccessMode mode) {
+  return homogeneous_stage_utility(w, n, params, mode) /
+         (1.0 - params.discount);
+}
+
+double normalized_global_payoff(double w, int n, const phy::Parameters& params,
+                                phy::AccessMode mode) {
+  // U_global/C with U_global = n·u·T/(1−δ) and C = g·T/(σ(1−δ)):
+  // the T and (1−δ) factors cancel, leaving n·u·σ/g.
+  const double u = homogeneous_utility_rate(w, n, params, mode);
+  return static_cast<double>(n) * u * params.sigma_us / params.gain;
+}
+
+double lemma3_q(double tau, int n, const phy::Parameters& params,
+                phy::AccessMode mode) {
+  const phy::SlotTimes t = params.slot_times(mode);
+  const double idle = std::pow(1.0 - tau, n);
+  return idle * t.sigma_us - (n * tau + idle) * t.tc_us + t.tc_us;
+}
+
+std::optional<double> optimal_tau_continuous(int n,
+                                             const phy::Parameters& params,
+                                             phy::AccessMode mode) {
+  if (n < 2) return std::nullopt;  // a single node has no interior optimum
+  auto q = [&](double tau) { return lemma3_q(tau, n, params, mode); };
+  // Q(0) = σ > 0, Q(1) = −(n−1)·T_c < 0: a sign change always exists.
+  const auto root = util::brent(q, 0.0, 1.0, {1e-15, 1e-12, 300});
+  if (!root || !root->converged) return std::nullopt;
+  return root->x;
+}
+
+std::optional<double> optimal_window_continuous(int n,
+                                                const phy::Parameters& params,
+                                                phy::AccessMode mode) {
+  const auto tau = optimal_tau_continuous(n, params, mode);
+  if (!tau) return std::nullopt;
+  return window_for_tau(*tau, n, params.max_backoff_stage);
+}
+
+}  // namespace smac::analytical

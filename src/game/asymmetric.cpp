@@ -1,0 +1,148 @@
+#include "game/asymmetric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytical/fixed_point_solver.hpp"
+#include "analytical/throughput.hpp"
+#include "util/optimize.hpp"
+
+namespace smac::game {
+
+AsymmetricGame::AsymmetricGame(phy::Parameters params, phy::AccessMode mode,
+                               std::vector<PlayerClass> classes)
+    : params_(std::move(params)), mode_(mode), classes_(std::move(classes)) {
+  params_.validate();
+  if (classes_.empty()) {
+    throw std::invalid_argument("AsymmetricGame: no classes");
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const PlayerClass& cls = classes_[c];
+    if (!(cls.gain > 0.0)) {
+      throw std::invalid_argument("AsymmetricGame: gain must be positive");
+    }
+    if (cls.cost < 0.0) {
+      throw std::invalid_argument("AsymmetricGame: cost must be non-negative");
+    }
+    if (cls.count < 1) {
+      throw std::invalid_argument("AsymmetricGame: class count < 1");
+    }
+    for (int k = 0; k < cls.count; ++k) class_of_.push_back(c);
+  }
+  if (class_of_.size() < 2) {
+    throw std::invalid_argument("AsymmetricGame: need at least 2 players");
+  }
+}
+
+const PlayerClass& AsymmetricGame::player_class(std::size_t player) const {
+  return classes_.at(class_of_.at(player));
+}
+
+std::size_t AsymmetricGame::class_index(std::size_t player) const {
+  return class_of_.at(player);
+}
+
+std::vector<double> AsymmetricGame::utility_rates(
+    const std::vector<int>& w) const {
+  if (w.size() != class_of_.size()) {
+    throw std::invalid_argument("AsymmetricGame: profile size mismatch");
+  }
+  const analytical::NetworkState state =
+      analytical::solve_network(w, params_.max_backoff_stage);
+  const analytical::ChannelMetrics metrics =
+      analytical::channel_metrics(state.tau, params_, mode_);
+  std::vector<double> u(w.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const PlayerClass& cls = player_class(i);
+    u[i] = state.tau[i] * ((1.0 - state.p[i]) * cls.gain - cls.cost) /
+           metrics.t_slot_us;
+  }
+  return u;
+}
+
+double AsymmetricGame::common_window_utility(std::size_t c, int w) const {
+  if (c >= classes_.size()) {
+    throw std::invalid_argument("AsymmetricGame: class out of range");
+  }
+  if (w < 1) throw std::invalid_argument("AsymmetricGame: w < 1");
+  const int n = static_cast<int>(player_count());
+  const analytical::NetworkState state = analytical::solve_network_homogeneous(
+      static_cast<double>(w), n, params_.max_backoff_stage);
+  const analytical::ChannelMetrics metrics =
+      analytical::channel_metrics(state.tau, params_, mode_);
+  const PlayerClass& cls = classes_[c];
+  return state.tau[0] * ((1.0 - state.p[0]) * cls.gain - cls.cost) /
+         metrics.t_slot_us;
+}
+
+int AsymmetricGame::preferred_common_window(std::size_t c) const {
+  const auto r = util::ternary_int_max(
+      [&](std::int64_t w) {
+        return common_window_utility(c, static_cast<int>(w));
+      },
+      1, params_.w_max);
+  return static_cast<int>(r.x);
+}
+
+int AsymmetricGame::welfare_maximizing_common_window() const {
+  const auto r = util::ternary_int_max(
+      [&](std::int64_t w) {
+        double welfare = 0.0;
+        for (std::size_t c = 0; c < classes_.size(); ++c) {
+          welfare += classes_[c].count *
+                     common_window_utility(c, static_cast<int>(w));
+        }
+        return welfare;
+      },
+      1, params_.w_max);
+  return static_cast<int>(r.x);
+}
+
+int AsymmetricGame::tft_outcome_window() const {
+  int w_min = params_.w_max;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    w_min = std::min(w_min, preferred_common_window(c));
+  }
+  return w_min;
+}
+
+int AsymmetricGame::best_response(const std::vector<int>& w,
+                                  std::size_t player) const {
+  if (player >= class_of_.size()) {
+    throw std::invalid_argument("AsymmetricGame: player out of range");
+  }
+  std::vector<int> profile = w;
+  const auto r = util::ternary_int_max(
+      [&](std::int64_t candidate) {
+        profile[player] = static_cast<int>(candidate);
+        return utility_rates(profile)[player];
+      },
+      1, params_.w_max);
+  return static_cast<int>(r.x);
+}
+
+AsymmetricGame::BestResponseResult AsymmetricGame::iterated_best_response(
+    std::vector<int> start, int max_rounds) const {
+  if (start.size() != class_of_.size()) {
+    throw std::invalid_argument("AsymmetricGame: start profile size mismatch");
+  }
+  BestResponseResult result;
+  result.profile = std::move(start);
+  for (result.rounds = 1; result.rounds <= max_rounds; ++result.rounds) {
+    bool moved = false;
+    for (std::size_t i = 0; i < result.profile.size(); ++i) {
+      const int response = best_response(result.profile, i);
+      if (response != result.profile[i]) {
+        result.profile[i] = response;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace smac::game

@@ -1,0 +1,90 @@
+#include "game/repeated_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smac::game {
+
+RepeatedGameEngine::RepeatedGameEngine(
+    const StageGame& game, std::vector<std::unique_ptr<Strategy>> strategies)
+    : game_(game), strategies_(std::move(strategies)) {
+  if (strategies_.empty()) {
+    throw std::invalid_argument("RepeatedGameEngine: no strategies");
+  }
+  for (const auto& s : strategies_) {
+    if (!s) throw std::invalid_argument("RepeatedGameEngine: null strategy");
+  }
+}
+
+RepeatedGameResult RepeatedGameEngine::play(int stages) {
+  if (stages < 1) throw std::invalid_argument("play: stages < 1");
+  const std::size_t n = strategies_.size();
+  const double delta = game_.params().discount;
+
+  RepeatedGameResult result;
+  result.history.reserve(static_cast<std::size_t>(stages));
+  result.discounted_utility.assign(n, 0.0);
+  result.total_utility.assign(n, 0.0);
+
+  double discount_k = 1.0;
+  for (int k = 0; k < stages; ++k) {
+    StageRecord record;
+    record.cw.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      record.cw[i] = k == 0 ? strategies_[i]->initial_cw()
+                            : strategies_[i]->decide(result.history, i);
+      if (record.cw[i] < 1) {
+        throw std::runtime_error("RepeatedGameEngine: strategy returned w < 1");
+      }
+    }
+    record.utility = game_.stage_utilities(record.cw);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.discounted_utility[i] += discount_k * record.utility[i];
+      result.total_utility[i] += record.utility[i];
+    }
+    discount_k *= delta;
+    result.history.push_back(std::move(record));
+  }
+
+  // Convergence facts.
+  const StageRecord& last = result.history.back();
+  const bool homogeneous =
+      std::all_of(last.cw.begin(), last.cw.end(),
+                  [&](int w) { return w == last.cw.front(); });
+  if (homogeneous) result.converged_cw = last.cw.front();
+
+  result.stable_from = stages;
+  for (int k = stages; k-- > 0;) {
+    if (result.history[static_cast<std::size_t>(k)].cw == last.cw) {
+      result.stable_from = k;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<Strategy>> make_tft_population(std::size_t n,
+                                                           int initial_w) {
+  std::vector<std::unique_ptr<Strategy>> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(std::make_unique<TitForTat>(initial_w));
+  }
+  return pop;
+}
+
+std::vector<std::unique_ptr<Strategy>> make_gtft_population(std::size_t n,
+                                                            int initial_w,
+                                                            double beta,
+                                                            int r0) {
+  std::vector<std::unique_ptr<Strategy>> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(std::make_unique<GenerousTitForTat>(initial_w, beta, r0));
+  }
+  return pop;
+}
+
+}  // namespace smac::game

@@ -1,0 +1,57 @@
+// Model-driven engine for the repeated MAC game G (paper §IV).
+//
+// Plays strategies against each other stage by stage; stage payoffs come
+// from the analytical stage game (the sim-driven counterpart lives in
+// sim::AdaptiveRuntime). Records the full trajectory, discounted
+// utilities, and convergence facts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "game/stage_game.hpp"
+#include "game/strategies.hpp"
+
+namespace smac::game {
+
+/// Outcome of a finite horizon of the repeated game.
+struct RepeatedGameResult {
+  History history;                         ///< one record per stage
+  std::vector<double> discounted_utility;  ///< Σ_k δ^k·U_i^s(W^k)
+  std::vector<double> total_utility;       ///< undiscounted sum
+  /// Common window if the final stage is homogeneous, else nullopt.
+  std::optional<int> converged_cw;
+  /// First stage index from which the profile never changes again;
+  /// equals the horizon when the profile kept moving.
+  int stable_from = 0;
+};
+
+/// Plays n strategies for a fixed number of stages.
+class RepeatedGameEngine {
+ public:
+  /// `game` must outlive the engine. One strategy per player.
+  RepeatedGameEngine(const StageGame& game,
+                     std::vector<std::unique_ptr<Strategy>> strategies);
+
+  std::size_t player_count() const noexcept { return strategies_.size(); }
+
+  /// Runs `stages` >= 1 stages from scratch and returns the trajectory.
+  RepeatedGameResult play(int stages);
+
+ private:
+  const StageGame& game_;
+  std::vector<std::unique_ptr<Strategy>> strategies_;
+};
+
+/// Convenience: n TFT players all starting from `initial_w`.
+std::vector<std::unique_ptr<Strategy>> make_tft_population(std::size_t n,
+                                                           int initial_w);
+
+/// n GTFT players with the given tolerance parameters.
+std::vector<std::unique_ptr<Strategy>> make_gtft_population(std::size_t n,
+                                                            int initial_w,
+                                                            double beta,
+                                                            int r0);
+
+}  // namespace smac::game

@@ -1,0 +1,57 @@
+#include "game/stage_game.hpp"
+
+#include <stdexcept>
+
+#include "analytical/utility.hpp"
+
+namespace smac::game {
+
+StageGame::StageGame(phy::Parameters params, phy::AccessMode mode)
+    : params_(std::move(params)), mode_(mode) {
+  params_.validate();
+}
+
+std::vector<double> StageGame::utility_rates(const std::vector<int>& w) const {
+  if (w.empty()) throw std::invalid_argument("StageGame: empty profile");
+  const analytical::NetworkState state = analytical::solve_network(
+      w, params_.max_backoff_stage, {}, params_.packet_error_rate);
+  return analytical::utility_rates(state, params_, mode_);
+}
+
+std::vector<double> StageGame::stage_utilities(
+    const std::vector<int>& w) const {
+  std::vector<double> u = utility_rates(w);
+  const double t_us = stage_duration_us();
+  for (double& v : u) v *= t_us;
+  return u;
+}
+
+double StageGame::homogeneous_utility_rate(int w, int n) const {
+  if (w < 1 || n < 1) {
+    throw std::invalid_argument("StageGame: homogeneous w/n out of range");
+  }
+  const auto key = std::make_pair(w, n);
+  if (const auto it = homogeneous_cache_.find(key);
+      it != homogeneous_cache_.end()) {
+    return it->second;
+  }
+  const double u = analytical::homogeneous_utility_rate(
+      static_cast<double>(w), n, params_, mode_);
+  homogeneous_cache_.emplace(key, u);
+  return u;
+}
+
+double StageGame::homogeneous_stage_utility(int w, int n) const {
+  return homogeneous_utility_rate(w, n) * stage_duration_us();
+}
+
+double StageGame::social_welfare(int w, int n) const {
+  return static_cast<double>(n) * homogeneous_stage_utility(w, n);
+}
+
+double StageGame::normalized_global_payoff(int w, int n) const {
+  return static_cast<double>(n) * homogeneous_utility_rate(w, n) *
+         params_.sigma_us / params_.gain;
+}
+
+}  // namespace smac::game

@@ -1,0 +1,59 @@
+// The stage game of the non-cooperative MAC game G (paper §IV).
+//
+// One stage lasts T seconds during which every node operates a fixed
+// contention window; the stage payoff is the utility rate u_i (from the
+// extended Bianchi model) times the stage duration. This class is the
+// bridge between the analytical model and the game-theoretic machinery:
+// strategies and equilibrium analysis consume it, never the raw solver.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analytical/fixed_point_solver.hpp"
+#include "phy/parameters.hpp"
+
+namespace smac::game {
+
+/// Evaluates stage payoffs of contention-window profiles.
+///
+/// Homogeneous evaluations are memoized: equilibrium sweeps and repeated
+/// games revisit the same (w, n) points thousands of times.
+class StageGame {
+ public:
+  StageGame(phy::Parameters params, phy::AccessMode mode);
+
+  const phy::Parameters& params() const noexcept { return params_; }
+  phy::AccessMode mode() const noexcept { return mode_; }
+
+  /// Stage duration in µs (utility rates are per µs).
+  double stage_duration_us() const noexcept {
+    return params_.stage_duration_s * 1e6;
+  }
+
+  /// Per-node utility *rates* (gain per µs) for an arbitrary profile.
+  std::vector<double> utility_rates(const std::vector<int>& w) const;
+
+  /// Per-node stage payoffs U_i^s = u_i·T for an arbitrary profile.
+  std::vector<double> stage_utilities(const std::vector<int>& w) const;
+
+  /// Utility rate of one node when all n nodes play w (memoized).
+  double homogeneous_utility_rate(int w, int n) const;
+
+  /// Stage payoff of one node when all n nodes play w.
+  double homogeneous_stage_utility(int w, int n) const;
+
+  /// Σ_i U_i^s over a homogeneous profile: the social welfare of a stage.
+  double social_welfare(int w, int n) const;
+
+  /// Normalized global payoff U/C (Figures 2–3 y-axis).
+  double normalized_global_payoff(int w, int n) const;
+
+ private:
+  phy::Parameters params_;
+  phy::AccessMode mode_;
+  mutable std::map<std::pair<int, int>, double> homogeneous_cache_;
+};
+
+}  // namespace smac::game

@@ -1,0 +1,154 @@
+#include "game/strategies.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/optimize.hpp"
+
+namespace smac::game {
+
+int min_cw(const StageRecord& record) {
+  if (record.cw.empty()) throw std::invalid_argument("min_cw: empty record");
+  return *std::min_element(record.cw.begin(), record.cw.end());
+}
+
+// ---- ConstantStrategy ----
+
+ConstantStrategy::ConstantStrategy(int w) : w_(w) {
+  if (w < 1) throw std::invalid_argument("ConstantStrategy: w < 1");
+}
+
+std::string ConstantStrategy::name() const {
+  std::ostringstream os;
+  os << "constant(" << w_ << ")";
+  return os.str();
+}
+
+// ---- TitForTat ----
+
+TitForTat::TitForTat(int initial_w) : initial_w_(initial_w) {
+  if (initial_w < 1) throw std::invalid_argument("TitForTat: initial_w < 1");
+}
+
+int TitForTat::decide(const History& history, std::size_t /*self*/) {
+  if (history.empty()) return initial_w_;
+  return min_cw(history.back());
+}
+
+// ---- GenerousTitForTat ----
+
+GenerousTitForTat::GenerousTitForTat(int initial_w, double beta,
+                                     int window_stages)
+    : initial_w_(initial_w), beta_(beta), r0_(window_stages) {
+  if (initial_w < 1) {
+    throw std::invalid_argument("GenerousTitForTat: initial_w < 1");
+  }
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    throw std::invalid_argument("GenerousTitForTat: beta outside (0,1)");
+  }
+  if (window_stages < 1) {
+    throw std::invalid_argument("GenerousTitForTat: window_stages < 1");
+  }
+}
+
+int GenerousTitForTat::decide(const History& history, std::size_t self) {
+  if (history.empty()) return initial_w_;
+  const int current = history.back().cw.at(self);
+
+  // Average each player's window over the last r0 stages (fewer if the
+  // game is younger than r0).
+  const std::size_t n = history.back().cw.size();
+  const std::size_t stages =
+      std::min<std::size_t>(static_cast<std::size_t>(r0_), history.size());
+  std::vector<double> avg(n, 0.0);
+  for (std::size_t s = history.size() - stages; s < history.size(); ++s) {
+    for (std::size_t j = 0; j < n; ++j) {
+      avg[j] += static_cast<double>(history[s].cw.at(j));
+    }
+  }
+  for (double& a : avg) a /= static_cast<double>(stages);
+
+  const double mine = avg[self];
+  bool someone_more_aggressive = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != self && avg[j] < beta_ * mine) {
+      someone_more_aggressive = true;
+      break;
+    }
+  }
+  if (someone_more_aggressive) return min_cw(history.back());
+  return current;
+}
+
+std::string GenerousTitForTat::name() const {
+  std::ostringstream os;
+  os << "gtft(beta=" << beta_ << ",r0=" << r0_ << ")";
+  return os.str();
+}
+
+// ---- ShortSightedStrategy ----
+
+ShortSightedStrategy::ShortSightedStrategy(int w_s) : w_s_(w_s) {
+  if (w_s < 1) throw std::invalid_argument("ShortSightedStrategy: w_s < 1");
+}
+
+std::string ShortSightedStrategy::name() const {
+  std::ostringstream os;
+  os << "short-sighted(" << w_s_ << ")";
+  return os.str();
+}
+
+// ---- MaliciousStrategy ----
+
+MaliciousStrategy::MaliciousStrategy(int w_coop, int w_attack,
+                                     int attack_stage)
+    : w_coop_(w_coop), w_attack_(w_attack), attack_stage_(attack_stage) {
+  if (w_coop < 1 || w_attack < 1) {
+    throw std::invalid_argument("MaliciousStrategy: windows must be >= 1");
+  }
+  if (attack_stage < 0) {
+    throw std::invalid_argument("MaliciousStrategy: attack_stage < 0");
+  }
+}
+
+int MaliciousStrategy::initial_cw() const {
+  return attack_stage_ == 0 ? w_attack_ : w_coop_;
+}
+
+int MaliciousStrategy::decide(const History& history, std::size_t /*self*/) {
+  const int next_stage = static_cast<int>(history.size());
+  return next_stage >= attack_stage_ ? w_attack_ : w_coop_;
+}
+
+std::string MaliciousStrategy::name() const {
+  std::ostringstream os;
+  os << "malicious(" << w_attack_ << "@" << attack_stage_ << ")";
+  return os.str();
+}
+
+// ---- MyopicBestResponse ----
+
+MyopicBestResponse::MyopicBestResponse(int initial_w, int w_max, Oracle oracle)
+    : initial_w_(initial_w), w_max_(w_max), oracle_(std::move(oracle)) {
+  if (initial_w < 1 || w_max < initial_w) {
+    throw std::invalid_argument("MyopicBestResponse: bad window range");
+  }
+  if (!oracle_) throw std::invalid_argument("MyopicBestResponse: null oracle");
+}
+
+int MyopicBestResponse::decide(const History& history, std::size_t self) {
+  if (history.empty()) return initial_w_;
+  std::vector<int> profile = history.back().cw;
+  // The stage utility against fixed opponents is unimodal in the own
+  // window (Lemma 1 monotonicities), so ternary search applies.
+  const auto r = util::ternary_int_max(
+      [&](std::int64_t w) {
+        profile[self] = static_cast<int>(w);
+        return oracle_(profile, self);
+      },
+      1, w_max_);
+  return static_cast<int>(r.x);
+}
+
+}  // namespace smac::game

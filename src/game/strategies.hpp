@@ -1,0 +1,142 @@
+// Player strategies for the repeated MAC game (paper §IV).
+//
+// A strategy observes the public history — the paper assumes contention
+// windows are observable in promiscuous mode (Kyasanur & Vaidya's
+// detection technique) — and picks the next stage's window. TFT and GTFT
+// are the paper's focus; the remaining strategies implement the deviants
+// analyzed in §V.D/§V.E and baselines used in benches.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smac::game {
+
+/// One completed stage: the profile played and realized stage payoffs.
+struct StageRecord {
+  std::vector<int> cw;           ///< contention window of every player
+  std::vector<double> utility;   ///< realized stage utility of every player
+};
+
+/// Public history of the repeated game, oldest stage first.
+using History = std::vector<StageRecord>;
+
+/// Decision rule of one player.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Window played in stage 0 (TFT "starts cooperative").
+  virtual int initial_cw() const = 0;
+
+  /// Window for the next stage given the full public history; `self` is
+  /// this player's index into each StageRecord.
+  virtual int decide(const History& history, std::size_t self) = 0;
+
+  /// Short display name ("tft", "gtft(0.9,3)", …).
+  virtual std::string name() const = 0;
+};
+
+/// Plays a fixed window forever. Baseline, and the §V.E malicious player
+/// when configured with a very small window.
+class ConstantStrategy final : public Strategy {
+ public:
+  explicit ConstantStrategy(int w);
+  int initial_cw() const override { return w_; }
+  int decide(const History&, std::size_t) override { return w_; }
+  std::string name() const override;
+
+ private:
+  int w_;
+};
+
+/// TIT-FOR-TAT: cooperate first, then match the most aggressive opponent:
+/// W_i^k = min_j W_j^{k−1} (paper §IV).
+class TitForTat final : public Strategy {
+ public:
+  explicit TitForTat(int initial_w);
+  int initial_cw() const override { return initial_w_; }
+  int decide(const History& history, std::size_t self) override;
+  std::string name() const override { return "tft"; }
+
+ private:
+  int initial_w_;
+};
+
+/// Generous TFT (paper §IV): averages windows over the last r0 stages and
+/// only reacts when some player's average is below β times its own;
+/// otherwise it keeps its current window. β < 1 close to 1; larger r0 or
+/// smaller β = more tolerant.
+class GenerousTitForTat final : public Strategy {
+ public:
+  GenerousTitForTat(int initial_w, double beta, int window_stages);
+  int initial_cw() const override { return initial_w_; }
+  int decide(const History& history, std::size_t self) override;
+  std::string name() const override;
+
+  double beta() const noexcept { return beta_; }
+  int window_stages() const noexcept { return r0_; }
+
+ private:
+  int initial_w_;
+  double beta_;
+  int r0_;
+};
+
+/// §V.D short-sighted deviant: plays W_s (< W_c*) from the first stage and
+/// never adapts — it discounts the future too heavily to care about the
+/// TFT retaliation it provokes.
+class ShortSightedStrategy final : public Strategy {
+ public:
+  explicit ShortSightedStrategy(int w_s);
+  int initial_cw() const override { return w_s_; }
+  int decide(const History&, std::size_t) override { return w_s_; }
+  std::string name() const override;
+
+ private:
+  int w_s_;
+};
+
+/// §V.E malicious player: cooperates at W_coop until `attack_stage`, then
+/// drops to W_attack to drag the whole network down via TFT contagion.
+class MaliciousStrategy final : public Strategy {
+ public:
+  MaliciousStrategy(int w_coop, int w_attack, int attack_stage);
+  int initial_cw() const override;
+  int decide(const History& history, std::size_t self) override;
+  std::string name() const override;
+
+ private:
+  int w_coop_;
+  int w_attack_;
+  int attack_stage_;
+};
+
+/// Myopic best response: each stage plays the window maximizing its own
+/// *stage* utility against the opponents' last profile. Used as the
+/// "everyone short-sighted" baseline that reproduces the network-collapse
+/// results of Cagalj et al. (paper §VIII discussion).
+class MyopicBestResponse final : public Strategy {
+ public:
+  /// The response is computed against an evaluation oracle supplied by the
+  /// runtime (analytical stage game); `w_max` bounds the search.
+  using Oracle = std::function<double(const std::vector<int>& profile,
+                                      std::size_t self)>;
+  MyopicBestResponse(int initial_w, int w_max, Oracle oracle);
+  int initial_cw() const override { return initial_w_; }
+  int decide(const History& history, std::size_t self) override;
+  std::string name() const override { return "myopic-br"; }
+
+ private:
+  int initial_w_;
+  int w_max_;
+  Oracle oracle_;
+};
+
+/// Convenience: the minimum window across one stage record.
+int min_cw(const StageRecord& record);
+
+}  // namespace smac::game

@@ -1,0 +1,112 @@
+#include "game/tournament.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "game/equilibrium.hpp"
+
+namespace smac::game {
+
+Tournament::Tournament(const StageGame& game, int n_players, int stages)
+    : game_(game), n_(n_players), stages_(stages) {
+  if (n_players < 2) throw std::invalid_argument("Tournament: n < 2");
+  if (stages < 1) throw std::invalid_argument("Tournament: stages < 1");
+}
+
+MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
+                                int count_a) const {
+  if (count_a < 0 || count_a > n_) {
+    throw std::invalid_argument("Tournament: count_a outside [0, n]");
+  }
+  if (!a.make || !b.make) {
+    throw std::invalid_argument("Tournament: null contender factory");
+  }
+  std::vector<std::unique_ptr<Strategy>> players;
+  players.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    players.push_back(i < count_a ? a.make() : b.make());
+  }
+  RepeatedGameEngine engine(game_, std::move(players));
+  const RepeatedGameResult result = engine.play(stages_);
+
+  MixOutcome outcome;
+  outcome.count_a = count_a;
+  outcome.count_b = n_ - count_a;
+  for (int i = 0; i < n_; ++i) {
+    const double u = result.discounted_utility[static_cast<std::size_t>(i)];
+    if (i < count_a) {
+      outcome.payoff_a += u / std::max(count_a, 1);
+    } else {
+      outcome.payoff_b += u / std::max(n_ - count_a, 1);
+    }
+  }
+  return outcome;
+}
+
+bool Tournament::resists_invasion(const Contender& resident,
+                                  const Contender& mutant,
+                                  double tolerance) const {
+  // One mutant (group B) among n−1 residents vs the pure-A counterfactual.
+  const MixOutcome invaded = play_mix(resident, mutant, n_ - 1);
+  const MixOutcome pure = play_mix(resident, mutant, n_);
+  return invaded.payoff_b <=
+         pure.payoff_a + tolerance * std::abs(pure.payoff_a);
+}
+
+std::vector<std::vector<bool>> Tournament::invasion_matrix(
+    const std::vector<Contender>& roster, double tolerance) const {
+  std::vector<std::vector<bool>> matrix(
+      roster.size(), std::vector<bool>(roster.size(), true));
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    for (std::size_t j = 0; j < roster.size(); ++j) {
+      if (i == j) continue;
+      matrix[i][j] = resists_invasion(roster[i], roster[j], tolerance);
+    }
+  }
+  return matrix;
+}
+
+std::vector<double> Tournament::round_robin_scores(
+    const std::vector<Contender>& roster) const {
+  std::vector<double> scores(roster.size(), 0.0);
+  std::vector<int> samples(roster.size(), 0);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    for (std::size_t j = 0; j < roster.size(); ++j) {
+      if (i == j) continue;
+      for (int count_a = 1; count_a < n_; ++count_a) {
+        const MixOutcome mix = play_mix(roster[i], roster[j], count_a);
+        scores[i] += mix.payoff_a;
+        ++samples[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (samples[i] > 0) scores[i] /= samples[i];
+  }
+  return scores;
+}
+
+std::vector<Contender> standard_roster(const StageGame& game, int n,
+                                       int w_coop) {
+  (void)game;
+  (void)n;
+  std::vector<Contender> roster;
+  roster.push_back({"tft", [w_coop] {
+                      return std::make_unique<TitForTat>(w_coop);
+                    }});
+  roster.push_back({"gtft(0.9,3)", [w_coop] {
+                      return std::make_unique<GenerousTitForTat>(w_coop, 0.9,
+                                                                 3);
+                    }});
+  roster.push_back({"constant(w*)", [w_coop] {
+                      return std::make_unique<ConstantStrategy>(w_coop);
+                    }});
+  roster.push_back({"short-sighted(w*/4)", [w_coop] {
+                      return std::make_unique<ShortSightedStrategy>(
+                          std::max(1, w_coop / 4));
+                    }});
+  return roster;
+}
+
+}  // namespace smac::game

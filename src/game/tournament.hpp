@@ -1,0 +1,85 @@
+// Strategy tournaments and invasion analysis (the paper's §IV claim that
+// TFT "is shown to be the best strategy in non-cooperative environments",
+// tested rather than asserted).
+//
+// The MAC game is an n-player game, so Axelrod's pairwise round-robin
+// generalizes to *mixes*: k players of strategy A against n − k of
+// strategy B, scored by average discounted utility per group. From mix
+// outcomes follow the two ecological questions:
+//
+//   * resistance — does a lone B-mutant in an A-population earn more
+//     than a member of the *pure* A-population would? Punishment in this
+//     game is collective (TFT drags every window down), so the mutant and
+//     the residents end up equal *within* the invaded game and the mutant
+//     keeps its early head start forever; the economically meaningful
+//     comparison is against the counterfactual of never deviating — the
+//     same notion as §V.D's U_s vs U_s0 and Theorem 2's NE condition.
+//
+// Strategies are supplied as factories because instances hold per-player
+// state (GTFT's averaging window).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/repeated_game.hpp"
+#include "game/stage_game.hpp"
+
+namespace smac::game {
+
+/// Named strategy factory for tournament play.
+struct Contender {
+  std::string name;
+  std::function<std::unique_ptr<Strategy>()> make;
+};
+
+/// Average discounted payoff per member of each group in one mix.
+struct MixOutcome {
+  int count_a = 0;
+  int count_b = 0;
+  double payoff_a = 0.0;  ///< mean discounted utility of A-players
+  double payoff_b = 0.0;  ///< mean discounted utility of B-players
+};
+
+class Tournament {
+ public:
+  /// `game` must outlive the tournament. `stages` is the repeated-game
+  /// horizon used for every match.
+  Tournament(const StageGame& game, int n_players, int stages);
+
+  /// Plays one mix: the first `count_a` players use A, the rest B.
+  MixOutcome play_mix(const Contender& a, const Contender& b,
+                      int count_a) const;
+
+  /// True when a lone B-mutant among (n−1) A-residents earns no more than
+  /// a member of the *pure* A-population (within `tolerance`, relative):
+  /// deviating into B does not pay, so the A-population resists B.
+  bool resists_invasion(const Contender& resident, const Contender& mutant,
+                        double tolerance = 1e-3) const;
+
+  /// Pairwise invasion matrix over a roster: entry (i, j) is true when a
+  /// population of roster[i] resists a lone roster[j] mutant. Diagonal is
+  /// trivially true.
+  std::vector<std::vector<bool>> invasion_matrix(
+      const std::vector<Contender>& roster, double tolerance = 1e-3) const;
+
+  /// Round-robin score: for each roster member, the mean of its
+  /// per-member payoff across all mixes (1..n−1 of itself) against every
+  /// other roster member — Axelrod's total-points view, generalized.
+  std::vector<double> round_robin_scores(
+      const std::vector<Contender>& roster) const;
+
+ private:
+  const StageGame& game_;
+  int n_;
+  int stages_;
+};
+
+/// The paper's cast, ready to use: TFT, GTFT(β, r0), Constant(w),
+/// ShortSighted(w_s) — all starting from / anchored at `w_coop`.
+std::vector<Contender> standard_roster(const StageGame& game, int n,
+                                       int w_coop);
+
+}  // namespace smac::game

@@ -1,0 +1,80 @@
+#include "multihop/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smac::multihop {
+
+MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
+                                    RandomWaypointModel* mobility,
+                                    const MultihopTftConfig& config) {
+  if (config.stages < 1) {
+    throw std::invalid_argument("play_multihop_tft: stages < 1");
+  }
+  if (config.slots_per_stage == 0) {
+    throw std::invalid_argument("play_multihop_tft: zero slots per stage");
+  }
+  if (config.mobility_dt_s < 0.0) {
+    throw std::invalid_argument("play_multihop_tft: negative mobility dt");
+  }
+  if (mobility && mobility->node_count() != sim.node_count()) {
+    throw std::invalid_argument("play_multihop_tft: mobility size mismatch");
+  }
+  const std::size_t n = sim.node_count();
+
+  MultihopTftResult result;
+  std::vector<int> profile(n);
+  for (std::size_t i = 0; i < n; ++i) profile[i] = sim.cw(i);
+
+  for (int k = 0; k < config.stages; ++k) {
+    // Run the stage with the current profile.
+    const MultihopResult run = sim.run_slots(config.slots_per_stage);
+    MultihopStage stage;
+    stage.cw = profile;
+    stage.payoff.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stage.payoff[i] = run.node[i].payoff_rate;
+    }
+    stage.global_payoff = run.global_payoff_rate;
+    stage.topology_connected = sim.topology().connected();
+    result.stages.push_back(std::move(stage));
+
+    // Mobility epoch: nodes move, the observation graph changes.
+    if (mobility && config.mobility_dt_s > 0.0) {
+      mobility->advance(config.mobility_dt_s);
+      sim.update_topology(
+          Topology(mobility->positions(), sim.config().range_m));
+    }
+
+    // Graph-local TFT on the (possibly new) topology: match the smallest
+    // window in the closed neighborhood.
+    std::vector<int> next(n);
+    const Topology& topo = sim.topology();
+    for (std::size_t i = 0; i < n; ++i) {
+      int w = profile[i];
+      for (std::size_t j : topo.neighbors(i)) w = std::min(w, profile[j]);
+      next[i] = w;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (next[i] != profile[i]) sim.set_cw(i, next[i]);
+    }
+    profile = std::move(next);
+  }
+
+  const std::vector<int>& last = result.stages.back().cw;
+  if (std::all_of(last.begin(), last.end(),
+                  [&](int w) { return w == last.front(); })) {
+    result.converged_cw = last.front();
+  }
+  result.stable_from = static_cast<int>(result.stages.size());
+  for (int k = static_cast<int>(result.stages.size()); k-- > 0;) {
+    if (result.stages[static_cast<std::size_t>(k)].cw == last) {
+      result.stable_from = k;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace smac::multihop

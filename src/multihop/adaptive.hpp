@@ -1,0 +1,52 @@
+// Stage-driven TFT dynamics on the multi-hop simulator (paper §VI).
+//
+// tft_min_convergence() analyzes the window dynamics as a pure graph
+// iteration; this runtime actually *plays* them: each stage the spatial
+// simulator runs for a fixed number of slots with the current profile,
+// every node observes only its neighbors' configured windows (the paper's
+// local-observation model) and applies TFT — match the smallest window in
+// the closed neighborhood — and mobility can move nodes between stages,
+// changing who observes whom. Payoffs are the simulator's measured local
+// payoff rates, so the trajectory carries both the convergence facts of
+// Theorem 3 and their price.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "multihop/mobility.hpp"
+#include "multihop/multihop_simulator.hpp"
+
+namespace smac::multihop {
+
+struct MultihopStage {
+  std::vector<int> cw;            ///< profile played this stage
+  std::vector<double> payoff;     ///< measured per-node payoff rates
+  double global_payoff = 0.0;
+  bool topology_connected = false;
+};
+
+struct MultihopTftResult {
+  std::vector<MultihopStage> stages;
+  /// Common window if the final profile is uniform.
+  std::optional<int> converged_cw;
+  /// First stage whose profile equals the final one.
+  int stable_from = 0;
+};
+
+struct MultihopTftConfig {
+  std::uint64_t slots_per_stage = 40000;
+  /// Seconds of mobility between stages (0 = static topology).
+  double mobility_dt_s = 0.0;
+  int stages = 10;
+};
+
+/// Plays graph-local TFT on `sim`, starting from its current profile.
+/// When `mobility` is non-null it advances between stages and the
+/// simulator's topology is rebuilt from the new positions.
+MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
+                                    RandomWaypointModel* mobility,
+                                    const MultihopTftConfig& config);
+
+}  // namespace smac::multihop

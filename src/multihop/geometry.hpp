@@ -1,0 +1,34 @@
+// 2-D geometry primitives for the multi-hop plane.
+#pragma once
+
+#include <cmath>
+
+namespace smac::multihop {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  double norm() const noexcept { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+/// Squared distance; avoids the sqrt in range tests.
+constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// True when a and b are within communication range r of each other.
+constexpr bool in_range(Vec2 a, Vec2 b, double r) noexcept {
+  return distance_sq(a, b) <= r * r;
+}
+
+}  // namespace smac::multihop

@@ -1,0 +1,69 @@
+#include "multihop/local_game.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "game/equilibrium.hpp"
+
+namespace smac::multihop {
+
+std::vector<int> local_efficient_cw(const Topology& topology,
+                                    const game::StageGame& game,
+                                    int min_players) {
+  if (min_players < 1) {
+    throw std::invalid_argument("local_efficient_cw: min_players < 1");
+  }
+  std::map<int, int> by_players;
+  std::vector<int> cw(topology.node_count());
+  for (std::size_t i = 0; i < topology.node_count(); ++i) {
+    const int players =
+        std::max(min_players, static_cast<int>(topology.degree(i)) + 1);
+    auto it = by_players.find(players);
+    if (it == by_players.end()) {
+      const game::EquilibriumFinder finder(game, players);
+      it = by_players.emplace(players, finder.efficient_cw()).first;
+    }
+    cw[i] = it->second;
+  }
+  return cw;
+}
+
+TftConvergence tft_min_convergence(const Topology& topology,
+                                   std::vector<int> seed_profile,
+                                   int max_stages) {
+  if (seed_profile.size() != topology.node_count()) {
+    throw std::invalid_argument("tft_min_convergence: profile size mismatch");
+  }
+  for (int w : seed_profile) {
+    if (w < 1) throw std::invalid_argument("tft_min_convergence: w < 1");
+  }
+
+  TftConvergence out;
+  out.trajectory.push_back(seed_profile);
+  std::vector<int> current = std::move(seed_profile);
+  std::vector<int> next(current.size());
+
+  for (int stage = 0; stage < max_stages; ++stage) {
+    bool changed = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      int w = current[i];
+      for (std::size_t j : topology.neighbors(i)) {
+        w = std::min(w, current[j]);
+      }
+      next[i] = w;
+      changed |= (w != current[i]);
+    }
+    if (!changed) break;
+    current = next;
+    out.trajectory.push_back(current);
+    ++out.stages;
+  }
+
+  out.converged_w = *std::min_element(current.begin(), current.end());
+  out.uniform = std::all_of(current.begin(), current.end(),
+                            [&](int w) { return w == current.front(); });
+  return out;
+}
+
+}  // namespace smac::multihop

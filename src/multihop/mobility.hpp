@@ -1,0 +1,55 @@
+// Random-waypoint mobility over a rectangular area (paper §VII.B: 100
+// nodes, 1000 m × 1000 m, speeds uniform in [0, 5] m/s).
+//
+// Each node repeatedly picks a uniform waypoint and a uniform speed, moves
+// there in a straight line, then picks the next (optional pause time
+// supported, default 0 as in the paper).
+#pragma once
+
+#include <vector>
+
+#include "multihop/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace smac::multihop {
+
+struct MobilityConfig {
+  double width_m = 1000.0;
+  double height_m = 1000.0;
+  double v_min_mps = 0.0;
+  double v_max_mps = 5.0;
+  double pause_s = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class RandomWaypointModel {
+ public:
+  RandomWaypointModel(MobilityConfig config, std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const MobilityConfig& config() const noexcept { return config_; }
+
+  /// Current position of node i.
+  Vec2 position(std::size_t i) const { return nodes_.at(i).pos; }
+  std::vector<Vec2> positions() const;
+
+  /// Advances every node by dt seconds (handles waypoint arrivals and
+  /// pauses mid-step; dt may span several legs).
+  void advance(double dt_s);
+
+ private:
+  struct NodeState {
+    Vec2 pos;
+    Vec2 waypoint;
+    double speed_mps = 0.0;
+    double pause_left_s = 0.0;
+  };
+
+  void pick_new_leg(NodeState& node);
+
+  MobilityConfig config_;
+  util::Rng rng_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace smac::multihop

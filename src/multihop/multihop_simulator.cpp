@@ -1,0 +1,206 @@
+#include "multihop/multihop_simulator.hpp"
+
+#include <stdexcept>
+
+namespace smac::multihop {
+
+MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
+                                     const std::vector<int>& cw_profile)
+    : config_(std::move(config)),
+      times_(config_.params.slot_times(config_.mode)),
+      topology_(std::move(topology)),
+      rng_(config_.seed) {
+  config_.params.validate();
+  if (cw_profile.size() != topology_.node_count()) {
+    throw std::invalid_argument("MultihopSimulator: profile/topology mismatch");
+  }
+  util::Rng master(config_.seed ^ 0xabcdef1234567890ULL);
+  nodes_.reserve(cw_profile.size());
+  for (int w : cw_profile) {
+    nodes_.emplace_back(w, config_.params.max_backoff_stage, master.split());
+  }
+}
+
+void MultihopSimulator::set_cw(std::size_t i, int w) { nodes_.at(i).set_cw(w); }
+
+void MultihopSimulator::set_all_cw(int w) {
+  for (auto& node : nodes_) node.set_cw(w);
+}
+
+void MultihopSimulator::set_profile(const std::vector<int>& cw_profile) {
+  if (cw_profile.size() != nodes_.size()) {
+    throw std::invalid_argument("MultihopSimulator: profile size mismatch");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].set_cw(cw_profile[i]);
+  }
+}
+
+void MultihopSimulator::update_topology(Topology topology) {
+  if (topology.node_count() != nodes_.size()) {
+    throw std::invalid_argument("update_topology: node count changed");
+  }
+  topology_ = std::move(topology);
+}
+
+MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
+  if (slots == 0) throw std::invalid_argument("run_slots: slots == 0");
+  const std::size_t n = nodes_.size();
+  const auto& pos = topology_.positions();
+  const double range = topology_.range_m();
+
+  struct Tally {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t sender_collisions = 0;
+    std::uint64_t hidden_losses = 0;
+    std::uint64_t own_attempt_slots = 0;
+    double local_time_us = 0.0;
+  };
+  std::vector<Tally> tally(n);
+
+  std::vector<std::size_t> transmitters;
+  std::vector<std::size_t> receiver_of(n);
+  std::vector<char> is_tx(n);
+  // Per-slot outcome of each transmitter: 0 success, 1 sender collision,
+  // 2 hidden loss, 3 no receiver available.
+  std::vector<int> outcome(n);
+
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    transmitters.clear();
+    std::fill(is_tx.begin(), is_tx.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes_[i].ready()) {
+        transmitters.push_back(i);
+        is_tx[i] = 1;
+      }
+    }
+
+    // Pick receivers and classify outcomes.
+    for (std::size_t i : transmitters) {
+      const auto& nb = topology_.neighbors(i);
+      if (nb.empty()) {
+        outcome[i] = 3;  // isolated node: nothing to send to
+        continue;
+      }
+      const std::size_t r = nb[rng_.uniform_below(nb.size())];
+      receiver_of[i] = r;
+
+      bool sender_contended = false;
+      bool receiver_jammed = is_tx[r] != 0;  // receiver busy transmitting
+      for (std::size_t j : transmitters) {
+        if (j == i) continue;
+        if (in_range(pos[j], pos[i], range)) {
+          sender_contended = true;
+          break;  // sender-side contention dominates the classification
+        }
+      }
+      if (!sender_contended && !receiver_jammed) {
+        for (std::size_t j : transmitters) {
+          if (j == i) continue;
+          if (in_range(pos[j], pos[r], range)) {
+            receiver_jammed = true;
+            break;
+          }
+        }
+      }
+      outcome[i] = sender_contended ? 1 : (receiver_jammed ? 2 : 0);
+    }
+
+    // Local channel time: σ if no transmitter in range (incl. self),
+    // T_s if some in-range transmission succeeded, else T_c.
+    for (std::size_t i = 0; i < n; ++i) {
+      bool any_tx = is_tx[i] != 0;
+      bool any_success = any_tx && outcome[i] == 0;
+      if (!any_success) {
+        for (std::size_t j : transmitters) {
+          if (j == i) continue;
+          if (in_range(pos[j], pos[i], range)) {
+            any_tx = true;
+            if (outcome[j] == 0) {
+              any_success = true;
+              break;
+            }
+          }
+        }
+      }
+      tally[i].local_time_us += !any_tx       ? times_.sigma_us
+                                : any_success ? times_.ts_us
+                                              : times_.tc_us;
+    }
+
+    // Apply outcomes to backoff state and counters.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_tx[i]) {
+        nodes_[i].observe_slot();
+        continue;
+      }
+      Tally& t = tally[i];
+      ++t.own_attempt_slots;
+      switch (outcome[i]) {
+        case 0:
+          ++t.attempts;
+          ++t.successes;
+          nodes_[i].on_success();
+          break;
+        case 1:
+          ++t.attempts;
+          ++t.sender_collisions;
+          nodes_[i].on_collision();
+          break;
+        case 2:
+          ++t.attempts;
+          ++t.hidden_losses;
+          // The sender's own domain was clear: in 802.11 terms it gets no
+          // CTS/ACK and backs off, exactly like a collision.
+          nodes_[i].on_collision();
+          break;
+        case 3:
+          // Isolated: skip the slot without spending energy.
+          nodes_[i].on_success();
+          break;
+      }
+    }
+  }
+
+  MultihopResult result;
+  result.slots = slots;
+  result.node.resize(n);
+  std::uint64_t clear_attempts = 0;
+  std::uint64_t clear_delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tally& t = tally[i];
+    MultihopNodeStats& out = result.node[i];
+    out.attempts = t.attempts;
+    out.successes = t.successes;
+    out.sender_collisions = t.sender_collisions;
+    out.hidden_losses = t.hidden_losses;
+    out.local_time_us = t.local_time_us;
+    out.payoff_rate =
+        t.local_time_us > 0.0
+            ? (static_cast<double>(t.successes) * config_.params.gain -
+               static_cast<double>(t.attempts) * config_.params.cost) /
+                  t.local_time_us
+            : 0.0;
+    out.measured_tau =
+        static_cast<double>(t.own_attempt_slots) / static_cast<double>(slots);
+    out.measured_p =
+        t.attempts ? static_cast<double>(t.sender_collisions) /
+                         static_cast<double>(t.attempts)
+                   : 0.0;
+    const std::uint64_t clear = t.successes + t.hidden_losses;
+    out.measured_p_hn =
+        clear ? static_cast<double>(t.successes) / static_cast<double>(clear)
+              : 1.0;
+    clear_attempts += clear;
+    clear_delivered += t.successes;
+    result.global_payoff_rate += out.payoff_rate;
+  }
+  result.aggregate_p_hn =
+      clear_attempts ? static_cast<double>(clear_delivered) /
+                           static_cast<double>(clear_attempts)
+                     : 1.0;
+  return result;
+}
+
+}  // namespace smac::multihop

@@ -1,0 +1,101 @@
+#include "multihop/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace smac::multihop {
+
+Topology::Topology(const std::vector<Vec2>& positions, double range_m)
+    : range_m_(range_m), positions_(positions),
+      neighbors_(positions.size()) {
+  if (!(range_m > 0.0)) throw std::invalid_argument("Topology: range <= 0");
+  if (positions.empty()) throw std::invalid_argument("Topology: no nodes");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (in_range(positions[i], positions[j], range_m)) {
+        neighbors_[i].push_back(j);
+        neighbors_[j].push_back(i);
+      }
+    }
+  }
+}
+
+bool Topology::are_neighbors(std::size_t a, std::size_t b) const {
+  const auto& na = neighbors_.at(a);
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+bool Topology::connected() const {
+  std::vector<char> seen(node_count(), 0);
+  std::queue<std::size_t> queue;
+  seen[0] = 1;
+  queue.push(0);
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (std::size_t v : neighbors_[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        queue.push(v);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+std::size_t Topology::hop_distance(std::size_t a, std::size_t b) const {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::invalid_argument("hop_distance: node out of range");
+  }
+  if (a == b) return 0;
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(node_count(), kInf);
+  std::queue<std::size_t> queue;
+  dist[a] = 0;
+  queue.push(a);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (std::size_t v : neighbors_[u]) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        if (v == b) return dist[v];
+        queue.push(v);
+      }
+    }
+  }
+  return kInf;
+}
+
+std::size_t Topology::diameter() const {
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  std::size_t diameter = 0;
+  // BFS from every node; n is small (≈100) so O(n·(n+m)) is fine.
+  for (std::size_t s = 0; s < node_count(); ++s) {
+    std::vector<std::size_t> dist(node_count(), kInf);
+    std::queue<std::size_t> queue;
+    dist[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop();
+      for (std::size_t v : neighbors_[u]) {
+        if (dist[v] == kInf) {
+          dist[v] = dist[u] + 1;
+          queue.push(v);
+        }
+      }
+    }
+    for (std::size_t d : dist) {
+      if (d == kInf) return kInf;  // disconnected
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace smac::multihop

@@ -1,0 +1,132 @@
+#include "phy/energy.hpp"
+
+#include <stdexcept>
+
+namespace smac::phy {
+
+namespace {
+// mW·µs = 1e-3 W · 1e-6 s = 1e-9 J = 1e-6 mJ.
+constexpr double kMwUsToMj = 1e-6;
+}
+
+void PowerProfile::validate() const {
+  if (!(tx_mw > 0.0) || !(rx_mw > 0.0) || !(idle_mw > 0.0)) {
+    throw std::invalid_argument("PowerProfile: draws must be positive");
+  }
+}
+
+EnergyBreakdown successful_exchange_energy(const Parameters& params,
+                                           AccessMode mode,
+                                           const PowerProfile& power) {
+  power.validate();
+  EnergyBreakdown e;
+  const double data_us = params.header_us() + params.payload_us();
+  switch (mode) {
+    case AccessMode::kBasic:
+      e.tx_mj = power.tx_mw * data_us * kMwUsToMj;
+      e.rx_mj = power.rx_mw * params.ack_us() * kMwUsToMj;
+      e.idle_mj =
+          power.idle_mw * (params.sifs_us + params.difs_us) * kMwUsToMj;
+      break;
+    case AccessMode::kRtsCts:
+      e.tx_mj = power.tx_mw * (params.rts_us() + data_us) * kMwUsToMj;
+      e.rx_mj =
+          power.rx_mw * (params.cts_us() + params.ack_us()) * kMwUsToMj;
+      e.idle_mj =
+          power.idle_mw * (3.0 * params.sifs_us + params.difs_us) * kMwUsToMj;
+      break;
+  }
+  return e;
+}
+
+EnergyBreakdown collided_attempt_energy(const Parameters& params,
+                                        AccessMode mode,
+                                        const PowerProfile& power) {
+  power.validate();
+  EnergyBreakdown e;
+  switch (mode) {
+    case AccessMode::kBasic:
+      e.tx_mj = power.tx_mw * (params.header_us() + params.payload_us()) *
+                kMwUsToMj;
+      e.idle_mj = power.idle_mw * params.sifs_us * kMwUsToMj;
+      break;
+    case AccessMode::kRtsCts:
+      e.tx_mj = power.tx_mw * params.rts_us() * kMwUsToMj;
+      e.idle_mj = power.idle_mw * params.difs_us * kMwUsToMj;
+      break;
+  }
+  return e;
+}
+
+std::vector<double> node_power_draw_mw(const std::vector<double>& tau,
+                                       const std::vector<double>& p,
+                                       const Parameters& params,
+                                       AccessMode mode,
+                                       const PowerProfile& power) {
+  if (tau.empty() || tau.size() != p.size()) {
+    throw std::invalid_argument("node_power_draw_mw: malformed state");
+  }
+  power.validate();
+  const SlotTimes t = params.slot_times(mode);
+  const std::size_t n = tau.size();
+
+  // Channel composition (as in analytical::channel_metrics).
+  std::vector<double> prefix(n + 1, 1.0);
+  std::vector<double> suffix(n + 1, 1.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] * (1.0 - tau[i]);
+  for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] * (1.0 - tau[i]);
+  const double p_idle = prefix[n];
+  std::vector<double> p_succ(n);
+  double p_succ_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p_succ[i] = tau[i] * prefix[i] * suffix[i + 1];
+    p_succ_total += p_succ[i];
+  }
+  const double p_coll_total = 1.0 - p_idle - p_succ_total;
+
+  // Average slot length (shared clock).
+  const double t_slot = p_idle * t.sigma_us + p_succ_total * t.ts_us +
+                        p_coll_total * t.tc_us;
+
+  const EnergyBreakdown e_succ =
+      successful_exchange_energy(params, mode, power);
+  const EnergyBreakdown e_coll = collided_attempt_energy(params, mode, power);
+
+  std::vector<double> draw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p_own_coll = tau[i] * p[i];  // transmitted and collided
+    // Busy time caused by others, overheard at rx power; own busy time is
+    // covered by the event energies.
+    const double own_busy_us = p_succ[i] * t.ts_us + p_own_coll * t.tc_us;
+    const double others_busy_us =
+        p_succ_total * t.ts_us + p_coll_total * t.tc_us - own_busy_us;
+    const double energy_per_slot_mj =
+        p_succ[i] * e_succ.total_mj() + p_own_coll * e_coll.total_mj() +
+        power.rx_mw * others_busy_us * kMwUsToMj +
+        power.idle_mw * p_idle * t.sigma_us * kMwUsToMj;
+    // mJ per µs = W; report mW.
+    draw[i] = energy_per_slot_mj / t_slot * 1e6;
+  }
+  return draw;
+}
+
+double equivalent_transmission_cost(const Parameters& params, AccessMode mode,
+                                    const PowerProfile& power,
+                                    double p_collision, double gain_per_mj) {
+  if (p_collision < 0.0 || p_collision > 1.0) {
+    throw std::invalid_argument(
+        "equivalent_transmission_cost: p_collision outside [0,1]");
+  }
+  if (gain_per_mj < 0.0) {
+    throw std::invalid_argument(
+        "equivalent_transmission_cost: negative energy price");
+  }
+  const double e_succ = successful_exchange_energy(params, mode, power)
+                            .total_mj();
+  const double e_coll = collided_attempt_energy(params, mode, power)
+                            .total_mj();
+  return gain_per_mj *
+         ((1.0 - p_collision) * e_succ + p_collision * e_coll);
+}
+
+}  // namespace smac::phy

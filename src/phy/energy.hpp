@@ -1,0 +1,67 @@
+// Radio energy accounting for the MAC game's cost parameter.
+//
+// The paper's utility charges an abstract cost e per transmission and
+// notes that nodes are energy-constrained. This module grounds e in a
+// physical radio model: per-state power draw (transmit / receive / idle,
+// defaults from Feeney & Nilsson's classic WaveLAN measurements) combined
+// with the frame timings of the configured access mode give the energy of
+// every channel event, the long-run power draw of each node at a solved
+// network state, and the e-value equivalent to a given price of energy.
+#pragma once
+
+#include <vector>
+
+#include "phy/parameters.hpp"
+
+namespace smac::phy {
+
+/// Power draw per radio state, in milliwatts.
+struct PowerProfile {
+  double tx_mw = 1900.0;    ///< transmitting
+  double rx_mw = 1340.0;    ///< receiving / overhearing
+  double idle_mw = 1340.0;  ///< idle listening (carrier sensing)
+
+  /// Throws std::invalid_argument on non-positive draws.
+  void validate() const;
+};
+
+/// Energy components of one node over a measurement period, in millijoules.
+struct EnergyBreakdown {
+  double tx_mj = 0.0;
+  double rx_mj = 0.0;
+  double idle_mj = 0.0;
+  double total_mj() const noexcept { return tx_mj + rx_mj + idle_mj; }
+};
+
+/// Sender-side energy of one *successful* exchange (basic: transmit
+/// header+payload, receive ACK; RTS/CTS adds the handshake).
+EnergyBreakdown successful_exchange_energy(const Parameters& params,
+                                           AccessMode mode,
+                                           const PowerProfile& power);
+
+/// Sender-side energy of one *collided* attempt (the whole frame is
+/// transmitted in basic mode; only the RTS under RTS/CTS — the energy
+/// argument for the handshake).
+EnergyBreakdown collided_attempt_energy(const Parameters& params,
+                                        AccessMode mode,
+                                        const PowerProfile& power);
+
+/// Long-run power draw (milliwatts) of each node given per-slot
+/// probabilities: idle slots burn idle power, own transmissions burn the
+/// event energies above, and other stations' busy time is overheard at rx
+/// power. `tau` and `p` come from the solved network state.
+std::vector<double> node_power_draw_mw(const std::vector<double>& tau,
+                                       const std::vector<double>& p,
+                                       const Parameters& params,
+                                       AccessMode mode,
+                                       const PowerProfile& power);
+
+/// The game-cost e equivalent to this radio: marginal energy of one
+/// attempt (weighted success/collision mix at collision probability
+/// `p_collision`) times the price of energy in gain units per millijoule.
+double equivalent_transmission_cost(const Parameters& params, AccessMode mode,
+                                    const PowerProfile& power,
+                                    double p_collision,
+                                    double gain_per_mj);
+
+}  // namespace smac::phy

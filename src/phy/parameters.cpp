@@ -1,0 +1,90 @@
+#include "phy/parameters.hpp"
+
+#include <stdexcept>
+
+namespace smac::phy {
+
+std::string to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kBasic: return "basic";
+    case AccessMode::kRtsCts: return "rts-cts";
+  }
+  return "unknown";
+}
+
+Parameters Parameters::paper() { return Parameters{}; }
+
+double Parameters::airtime_us(double bits) const {
+  return bits / bitrate_bps * 1e6;
+}
+
+double Parameters::header_us() const {
+  return airtime_us(phy_header_bits + mac_header_bits);
+}
+
+double Parameters::payload_us() const { return airtime_us(payload_bits); }
+
+double Parameters::ack_us() const {
+  return airtime_us(ack_bits + phy_header_bits);
+}
+
+double Parameters::rts_us() const {
+  return airtime_us(rts_bits + phy_header_bits);
+}
+
+double Parameters::cts_us() const {
+  return airtime_us(cts_bits + phy_header_bits);
+}
+
+SlotTimes Parameters::slot_times(AccessMode mode) const {
+  SlotTimes t;
+  t.sigma_us = sigma_us;
+  const double h = header_us();
+  const double p = payload_us();
+  switch (mode) {
+    case AccessMode::kBasic:
+      t.ts_us = h + p + sifs_us + ack_us() + difs_us;
+      t.tc_us = h + p + sifs_us;
+      break;
+    case AccessMode::kRtsCts:
+      t.ts_us = rts_us() + sifs_us + cts_us() + sifs_us + h + p + sifs_us +
+                ack_us() + difs_us;
+      t.tc_us = rts_us() + difs_us;
+      break;
+  }
+  return t;
+}
+
+void Parameters::validate() const {
+  auto positive = [](double v, const char* name) {
+    if (!(v > 0.0)) {
+      throw std::invalid_argument(std::string("Parameters: ") + name +
+                                  " must be positive");
+    }
+  };
+  positive(payload_bits, "payload_bits");
+  positive(bitrate_bps, "bitrate_bps");
+  positive(sigma_us, "sigma_us");
+  positive(sifs_us, "sifs_us");
+  positive(difs_us, "difs_us");
+  positive(stage_duration_s, "stage_duration_s");
+  positive(gain, "gain");
+  if (cost < 0.0) {
+    throw std::invalid_argument("Parameters: cost must be non-negative");
+  }
+  if (max_backoff_stage < 0) {
+    throw std::invalid_argument("Parameters: max_backoff_stage must be >= 0");
+  }
+  if (w_max < 1) {
+    throw std::invalid_argument("Parameters: w_max must be >= 1");
+  }
+  if (!(discount > 0.0) || !(discount < 1.0)) {
+    throw std::invalid_argument("Parameters: discount must lie in (0,1)");
+  }
+  if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
+    throw std::invalid_argument(
+        "Parameters: packet_error_rate must lie in [0,1)");
+  }
+}
+
+}  // namespace smac::phy

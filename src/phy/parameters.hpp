@@ -1,0 +1,91 @@
+// IEEE 802.11 PHY/MAC timing parameters and game constants.
+//
+// Defaults reproduce Table I of the paper (Bianchi's classic 1 Mbit/s
+// parameter set): 8184-bit payload, 272-bit MAC header, 128-bit PHY header,
+// σ = 50 µs, SIFS = 28 µs, DIFS = 128 µs, g = 1, e = 0.01, T = 10 s,
+// δ = 0.9999.
+#pragma once
+
+#include <string>
+
+namespace smac::phy {
+
+/// Channel access mechanism of IEEE 802.11 DCF.
+enum class AccessMode {
+  kBasic,   ///< data frame collides (long collisions)
+  kRtsCts,  ///< RTS/CTS handshake; collisions cost only an RTS
+};
+
+/// Short human-readable name ("basic" / "rts-cts").
+std::string to_string(AccessMode mode);
+
+/// Busy-channel durations entering Bianchi's average slot length.
+struct SlotTimes {
+  double sigma_us = 0.0;  ///< empty slot duration σ
+  double ts_us = 0.0;     ///< busy time of a successful transmission
+  double tc_us = 0.0;     ///< busy time of a collision
+};
+
+/// Full parameter set: frame sizes, channel timing, backoff model shape and
+/// the utility/game constants of the paper.
+struct Parameters {
+  // ---- Frame sizes (bits). Control frames exclude their PHY preamble;
+  //      the PHY header is added when converting to airtime. ----
+  double payload_bits = 8184.0;
+  double mac_header_bits = 272.0;
+  double phy_header_bits = 128.0;
+  double ack_bits = 112.0;
+  double rts_bits = 160.0;
+  double cts_bits = 112.0;
+
+  // ---- Channel ----
+  double bitrate_bps = 1.0e6;
+  double sigma_us = 50.0;  ///< empty slot duration
+  double sifs_us = 28.0;
+  double difs_us = 128.0;
+  /// Probability that an otherwise-successful (collision-free) frame is
+  /// corrupted by channel noise and earns no ACK. The paper assumes an
+  /// error-free channel (0.0); with PER > 0 the backoff chain escalates on
+  /// the combined failure probability 1 − (1 − p)(1 − PER).
+  double packet_error_rate = 0.0;
+
+  // ---- Backoff model ----
+  int max_backoff_stage = 6;  ///< m: CW doubles up to 2^m · W
+  int w_max = 4096;           ///< upper bound of the strategy space W
+
+  // ---- Game constants (Table I) ----
+  double gain = 1.0;               ///< g: reward per delivered packet
+  double cost = 0.01;              ///< e: energy cost per transmission
+  double stage_duration_s = 10.0;  ///< T: duration of one game stage
+  double discount = 0.9999;        ///< δ: per-stage discount factor
+
+  /// Table I parameter set (identical to the defaults; spelled out for
+  /// call-site clarity).
+  static Parameters paper();
+
+  /// Airtime of `bits` at the configured bitrate, in µs.
+  double airtime_us(double bits) const;
+
+  /// Header transmission time H = PHY + MAC header.
+  double header_us() const;
+  /// Payload transmission time P.
+  double payload_us() const;
+  /// ACK / RTS / CTS airtime, each including a PHY preamble.
+  double ack_us() const;
+  double rts_us() const;
+  double cts_us() const;
+
+  /// σ / T_s / T_c for the given access mode.
+  ///
+  /// Basic:   T_s = H + P + SIFS + ACK + DIFS,  T_c = H + P + SIFS
+  /// RTS/CTS: T_s = RTS + SIFS + CTS + SIFS + H + P + SIFS + ACK + DIFS,
+  ///          T_c = RTS + DIFS
+  /// (collision durations follow the paper's §III / §V.F).
+  SlotTimes slot_times(AccessMode mode) const;
+
+  /// Throws std::invalid_argument when any field is out of range
+  /// (non-positive durations, m < 0, w_max < 1, δ ∉ (0,1), …).
+  void validate() const;
+};
+
+}  // namespace smac::phy

@@ -1,0 +1,90 @@
+#include "sim/adaptive_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smac::sim {
+
+namespace {
+
+std::vector<int> initial_profile(
+    const std::vector<std::unique_ptr<game::Strategy>>& strategies) {
+  if (strategies.empty()) {
+    throw std::invalid_argument("AdaptiveRuntime: no strategies");
+  }
+  std::vector<int> cw;
+  cw.reserve(strategies.size());
+  for (const auto& s : strategies) {
+    if (!s) throw std::invalid_argument("AdaptiveRuntime: null strategy");
+    cw.push_back(s->initial_cw());
+  }
+  return cw;
+}
+
+}  // namespace
+
+AdaptiveRuntime::AdaptiveRuntime(
+    SimConfig config, std::vector<std::unique_ptr<game::Strategy>> strategies,
+    std::optional<double> stage_duration_us)
+    : strategies_(std::move(strategies)),
+      simulator_(config, initial_profile(strategies_)),
+      stage_duration_us_(
+          stage_duration_us.value_or(config.params.stage_duration_s * 1e6)),
+      discount_(config.params.discount) {
+  if (!(stage_duration_us_ > 0.0)) {
+    throw std::invalid_argument("AdaptiveRuntime: stage duration must be > 0");
+  }
+}
+
+AdaptiveResult AdaptiveRuntime::play(int stages) {
+  if (stages < 1) throw std::invalid_argument("AdaptiveRuntime: stages < 1");
+  const std::size_t n = strategies_.size();
+
+  AdaptiveResult result;
+  result.history.reserve(static_cast<std::size_t>(stages));
+  result.discounted_utility.assign(n, 0.0);
+  result.total_utility.assign(n, 0.0);
+
+  double discount_k = 1.0;
+  for (int k = 0; k < stages; ++k) {
+    game::StageRecord record;
+    record.cw.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      record.cw[i] = k == 0 ? strategies_[i]->initial_cw()
+                            : strategies_[i]->decide(result.history, i);
+    }
+    // Only touch nodes whose window actually changes: set_cw restarts the
+    // backoff, and a stable profile should keep its chain state.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (simulator_.cw(i) != record.cw[i]) simulator_.set_cw(i, record.cw[i]);
+    }
+
+    const SimResult stage = simulator_.run_for(stage_duration_us_);
+    record.utility.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Measured stage payoff: rate × realized stage length.
+      record.utility[i] = stage.payoff_rate[i] * stage.elapsed_us;
+      result.discounted_utility[i] += discount_k * record.utility[i];
+      result.total_utility[i] += record.utility[i];
+    }
+    discount_k *= discount_;
+    result.history.push_back(std::move(record));
+  }
+
+  const game::StageRecord& last = result.history.back();
+  if (std::all_of(last.cw.begin(), last.cw.end(),
+                  [&](int w) { return w == last.cw.front(); })) {
+    result.converged_cw = last.cw.front();
+  }
+  result.stable_from = stages;
+  for (int k = stages; k-- > 0;) {
+    if (result.history[static_cast<std::size_t>(k)].cw == last.cw) {
+      result.stable_from = k;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace smac::sim

@@ -1,0 +1,50 @@
+// Sim-driven repeated game: strategies adapt their contention window stage
+// by stage while payoffs are *measured* on the slot-level simulator
+// instead of computed from the analytical model.
+//
+// This is the paper's actual operating regime: each stage lasts T seconds,
+// nodes observe opponents' windows (promiscuous-mode measurement, assumed
+// perfect as in the paper) and realized payoffs are (n_s·g − n_e·e) over
+// the stage. Comparing trajectories of this runtime against
+// game::RepeatedGameEngine validates the analytical model end to end.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "game/strategies.hpp"
+#include "sim/simulator.hpp"
+
+namespace smac::sim {
+
+struct AdaptiveResult {
+  game::History history;                   ///< per stage: profile + measured payoffs
+  std::vector<double> discounted_utility;  ///< Σ_k δ^k·U_i^s
+  std::vector<double> total_utility;
+  std::optional<int> converged_cw;  ///< common window of the final stage
+  int stable_from = 0;              ///< first stage of the final stable profile
+};
+
+class AdaptiveRuntime {
+ public:
+  /// One strategy per node. Stage duration defaults to the parameter set's
+  /// T; shorten it in tests to trade accuracy for speed.
+  AdaptiveRuntime(SimConfig config,
+                  std::vector<std::unique_ptr<game::Strategy>> strategies,
+                  std::optional<double> stage_duration_us = std::nullopt);
+
+  std::size_t player_count() const noexcept { return strategies_.size(); }
+
+  /// Plays `stages` stages; the simulator's backoff state carries across
+  /// stages (only measurement counters reset).
+  AdaptiveResult play(int stages);
+
+ private:
+  std::vector<std::unique_ptr<game::Strategy>> strategies_;
+  Simulator simulator_;
+  double stage_duration_us_;
+  double discount_;
+};
+
+}  // namespace smac::sim

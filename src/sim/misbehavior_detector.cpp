@@ -1,0 +1,90 @@
+#include "sim/misbehavior_detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytical/backoff_chain.hpp"
+#include "analytical/fixed_point_solver.hpp"
+#include "util/stats.hpp"
+
+namespace smac::sim {
+
+namespace {
+
+void validate(const DetectorConfig& config) {
+  if (!(config.significance > 0.0) || !(config.significance < 1.0)) {
+    throw std::invalid_argument("detector: significance outside (0,1)");
+  }
+  if (config.tolerance < 0.0) {
+    throw std::invalid_argument("detector: negative tolerance");
+  }
+}
+
+}  // namespace
+
+std::vector<MisbehaviorVerdict> detect_misbehavior(
+    const SimResult& observed, int w_agreed, int max_stage,
+    const DetectorConfig& config) {
+  validate(config);
+  if (observed.slots == 0 || observed.node.empty()) {
+    throw std::invalid_argument("detect_misbehavior: empty observation");
+  }
+  if (w_agreed < 1) {
+    throw std::invalid_argument("detect_misbehavior: w_agreed < 1");
+  }
+  const int n = static_cast<int>(observed.node.size());
+  const double tau_compliant =
+      analytical::homogeneous_tau(w_agreed, n, max_stage);
+  const double tau_tolerated = tau_compliant * (1.0 + config.tolerance);
+  const double z_alpha = util::normal_quantile(1.0 - config.significance);
+  const auto slots = static_cast<double>(observed.slots);
+  const double stddev =
+      std::sqrt(tau_tolerated * (1.0 - tau_tolerated) / slots);
+
+  std::vector<MisbehaviorVerdict> verdicts(observed.node.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    MisbehaviorVerdict& v = verdicts[i];
+    v.tau_expected = tau_compliant;
+    v.tau_observed =
+        static_cast<double>(observed.node[i].attempts) / slots;
+    v.z_score = stddev > 0.0
+                    ? (v.tau_observed - tau_tolerated) / stddev
+                    : 0.0;
+    v.flagged = v.z_score > z_alpha;
+  }
+  return verdicts;
+}
+
+std::uint64_t expected_detection_slots(int w_agreed, int w_cheat, int n,
+                                       int max_stage,
+                                       const DetectorConfig& config,
+                                       double power) {
+  validate(config);
+  if (w_agreed < 1 || w_cheat < 1 || n < 2) {
+    throw std::invalid_argument("expected_detection_slots: bad arguments");
+  }
+  if (!(power > 0.0) || !(power < 1.0)) {
+    throw std::invalid_argument("expected_detection_slots: power outside (0,1)");
+  }
+  const double tau_compliant =
+      analytical::homogeneous_tau(w_agreed, n, max_stage);
+  const double tau_tolerated = tau_compliant * (1.0 + config.tolerance);
+
+  // The cheater's τ against n−1 compliant opponents: solve its chain with
+  // the collision feedback of the compliant crowd.
+  std::vector<int> profile(static_cast<std::size_t>(n), w_agreed);
+  profile[0] = w_cheat;
+  const auto state = analytical::solve_network(profile, max_stage);
+  const double tau_cheat = state.tau[0];
+  if (tau_cheat <= tau_tolerated) return 0;  // no detectable excess
+
+  const double z_alpha = util::normal_quantile(1.0 - config.significance);
+  const double z_power = util::normal_quantile(power);
+  const double sigma0 = std::sqrt(tau_tolerated * (1.0 - tau_tolerated));
+  const double sigma1 = std::sqrt(tau_cheat * (1.0 - tau_cheat));
+  const double excess = tau_cheat - tau_tolerated;
+  const double root = (z_alpha * sigma0 + z_power * sigma1) / excess;
+  return static_cast<std::uint64_t>(std::ceil(root * root));
+}
+
+}  // namespace smac::sim

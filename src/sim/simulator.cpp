@@ -1,0 +1,214 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smac::sim {
+
+struct Simulator::WindowAccumulator {
+  double elapsed_us = 0.0;
+  std::uint64_t slots = 0;
+  std::uint64_t idle_slots = 0;
+  std::uint64_t success_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t error_slots = 0;
+  std::uint64_t capture_slots = 0;
+};
+
+Simulator::Simulator(SimConfig config, const std::vector<int>& cw_profile)
+    : config_(std::move(config)),
+      times_(config_.params.slot_times(config_.mode)),
+      backlog_(cw_profile.size(), 0),
+      backlog_time_integral_(cw_profile.size(), 0.0),
+      arrival_rng_(config_.seed ^ 0xa221ba1ULL),
+      channel_rng_(config_.seed ^ 0xc4a22e1ULL) {
+  config_.params.validate();
+  if (config_.arrival_rate_pps < 0.0) {
+    throw std::invalid_argument("Simulator: negative arrival rate");
+  }
+  if (config_.capture_probability < 0.0 || config_.capture_probability > 1.0) {
+    throw std::invalid_argument("Simulator: capture probability outside [0,1]");
+  }
+  if (cw_profile.empty()) {
+    throw std::invalid_argument("Simulator: empty CW profile");
+  }
+  util::Rng master(config_.seed);
+  nodes_.reserve(cw_profile.size());
+  for (int w : cw_profile) {
+    nodes_.emplace_back(w, config_.params.max_backoff_stage, master.split(),
+                        config_.backoff_policy);
+  }
+  ready_scratch_.reserve(nodes_.size());
+}
+
+void Simulator::set_cw(std::size_t i, int w) { nodes_.at(i).set_cw(w); }
+
+void Simulator::set_all_cw(int w) {
+  for (auto& node : nodes_) node.set_cw(w);
+}
+
+void Simulator::set_profile(const std::vector<int>& cw_profile) {
+  if (cw_profile.size() != nodes_.size()) {
+    throw std::invalid_argument("Simulator::set_profile: size mismatch");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].set_cw(cw_profile[i]);
+  }
+}
+
+void Simulator::step(WindowAccumulator& acc) {
+  ready_scratch_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_active(i) && nodes_[i].ready()) ready_scratch_.push_back(i);
+  }
+
+  double slot_us = 0.0;
+  if (ready_scratch_.empty()) {
+    slot_us = times_.sigma_us;
+    ++acc.idle_slots;
+  } else if (ready_scratch_.size() == 1) {
+    const std::size_t sender = ready_scratch_.front();
+    const double per = config_.params.packet_error_rate;
+    if (per > 0.0 && channel_rng_.bernoulli(per)) {
+      // Corrupted by noise: the frame occupies its full airtime but no
+      // ACK arrives — the sender backs off exactly as after a collision.
+      slot_us = times_.ts_us;
+      ++acc.error_slots;
+      nodes_[sender].on_collision();
+    } else {
+      slot_us = times_.ts_us;
+      ++acc.success_slots;
+      nodes_[sender].on_success();
+      if (!saturated() && backlog_[sender] > 0) --backlog_[sender];
+    }
+  } else if (config_.capture_probability > 0.0 &&
+             channel_rng_.bernoulli(config_.capture_probability)) {
+    // Capture: one contender's frame survives the collision (it is also
+    // exposed to channel noise like any other reception).
+    slot_us = times_.ts_us;  // the captured frame completes its exchange
+    const std::size_t winner = ready_scratch_[static_cast<std::size_t>(
+        channel_rng_.uniform_below(ready_scratch_.size()))];
+    const double per = config_.params.packet_error_rate;
+    const bool corrupted = per > 0.0 && channel_rng_.bernoulli(per);
+    for (std::size_t i : ready_scratch_) {
+      if (i == winner && !corrupted) {
+        nodes_[i].on_success();
+        if (!saturated() && backlog_[i] > 0) --backlog_[i];
+      } else {
+        nodes_[i].on_collision();
+      }
+    }
+    if (corrupted) {
+      ++acc.error_slots;
+    } else {
+      ++acc.capture_slots;
+      ++acc.success_slots;
+    }
+  } else {
+    slot_us = times_.tc_us;
+    ++acc.collision_slots;
+    for (std::size_t i : ready_scratch_) nodes_[i].on_collision();
+  }
+  acc.elapsed_us += slot_us;
+  // Non-transmitting *active* nodes advance their backoff by one channel
+  // slot; idle-queue nodes have no backoff running.
+  for (std::size_t i = 0, r = 0; i < nodes_.size(); ++i) {
+    if (r < ready_scratch_.size() && ready_scratch_[r] == i) {
+      ++r;  // transmitted: already redrew its backoff
+    } else if (node_active(i)) {
+      nodes_[i].observe_slot();
+    }
+  }
+  // Poisson arrivals over the elapsed slot; a packet reaching an empty
+  // queue starts a fresh stage-0 backoff.
+  if (!saturated()) {
+    const double mean = config_.arrival_rate_pps * slot_us * 1e-6;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::uint64_t arrivals = arrival_rng_.poisson(mean);
+      if (arrivals > 0 && backlog_[i] == 0) nodes_[i].begin_packet();
+      backlog_[i] += arrivals;
+      backlog_time_integral_[i] += static_cast<double>(backlog_[i]) * slot_us;
+    }
+  }
+  ++acc.slots;
+}
+
+namespace {
+
+SimResult finalize(const std::vector<DcfNode>& nodes,
+                   const phy::Parameters& params, double elapsed_us,
+                   std::uint64_t slots, std::uint64_t idle,
+                   std::uint64_t success, std::uint64_t collision,
+                   std::uint64_t error, std::uint64_t capture) {
+  SimResult result;
+  result.elapsed_us = elapsed_us;
+  result.slots = slots;
+  result.idle_slots = idle;
+  result.success_slots = success;
+  result.collision_slots = collision;
+  result.error_slots = error;
+  result.capture_slots = capture;
+  result.node.reserve(nodes.size());
+  for (const auto& node : nodes) result.node.push_back(node.counters());
+
+  result.throughput =
+      static_cast<double>(success) * params.payload_us() / elapsed_us;
+  result.payoff_rate.resize(nodes.size());
+  result.measured_tau.resize(nodes.size());
+  result.measured_p.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeCounters& c = result.node[i];
+    result.payoff_rate[i] =
+        (static_cast<double>(c.successes) * params.gain -
+         static_cast<double>(c.attempts) * params.cost) /
+        elapsed_us;
+    result.measured_tau[i] =
+        slots ? static_cast<double>(c.attempts) / static_cast<double>(slots)
+              : 0.0;
+    result.measured_p[i] = c.attempts
+                               ? static_cast<double>(c.collisions) /
+                                     static_cast<double>(c.attempts)
+                               : 0.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult Simulator::run_for(double duration_us) {
+  if (!(duration_us > 0.0)) {
+    throw std::invalid_argument("Simulator::run_for: duration must be > 0");
+  }
+  for (auto& node : nodes_) node.reset_counters();
+  std::fill(backlog_time_integral_.begin(), backlog_time_integral_.end(), 0.0);
+  WindowAccumulator acc;
+  while (acc.elapsed_us < duration_us) step(acc);
+  SimResult result = finalize(nodes_, config_.params, acc.elapsed_us,
+                              acc.slots, acc.idle_slots, acc.success_slots,
+                              acc.collision_slots, acc.error_slots,
+                              acc.capture_slots);
+  result.mean_backlog.resize(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    result.mean_backlog[i] = backlog_time_integral_[i] / acc.elapsed_us;
+  }
+  return result;
+}
+
+SimResult Simulator::run_slots(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Simulator::run_slots: n == 0");
+  for (auto& node : nodes_) node.reset_counters();
+  std::fill(backlog_time_integral_.begin(), backlog_time_integral_.end(), 0.0);
+  WindowAccumulator acc;
+  while (acc.slots < n) step(acc);
+  SimResult result = finalize(nodes_, config_.params, acc.elapsed_us,
+                              acc.slots, acc.idle_slots, acc.success_slots,
+                              acc.collision_slots, acc.error_slots,
+                              acc.capture_slots);
+  result.mean_backlog.resize(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    result.mean_backlog[i] = backlog_time_integral_[i] / acc.elapsed_us;
+  }
+  return result;
+}
+
+}  // namespace smac::sim

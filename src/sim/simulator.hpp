@@ -1,0 +1,116 @@
+// Slot-level single-hop IEEE 802.11 DCF simulator (saturated traffic).
+//
+// Replaces the paper's NS-2 experiments: all nodes are in range of each
+// other; every channel slot resolves to idle (σ), success (T_s) or
+// collision (T_c) depending on how many backoff counters hit zero, which
+// is exactly the embedded process behind Bianchi's model. Heterogeneous
+// per-node contention windows — the selfish setting — are first-class.
+//
+// The simulator keeps backoff state across measurement windows so the
+// adaptive runtime (repeated game) and the §V.C search protocol can chain
+// stages without re-warming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/parameters.hpp"
+#include "sim/dcf_node.hpp"
+#include "util/rng.hpp"
+
+namespace smac::sim {
+
+struct SimConfig {
+  phy::Parameters params = phy::Parameters::paper();
+  phy::AccessMode mode = phy::AccessMode::kBasic;
+  std::uint64_t seed = 1;
+  /// Per-node packet arrival rate (packets/second). 0 = saturated (the
+  /// paper's assumption): a fresh packet is always waiting. Positive
+  /// values switch the sources to Poisson arrivals with per-node queues —
+  /// nodes with an empty queue do not contend.
+  double arrival_rate_pps = 0.0;
+  /// Capture effect: probability that a collision slot still delivers the
+  /// frame of one (uniformly chosen) contender — near/far power imbalance
+  /// at the receiver. 0 (default) = every collision destroys all frames.
+  /// Channel-noise corruption of clean frames comes from
+  /// params.packet_error_rate; both default off, leaving the paper's
+  /// idealized channel.
+  double capture_probability = 0.0;
+  /// Backoff adjustment law of every node (ablation; the paper's model
+  /// covers only kBinaryExponential).
+  BackoffPolicy backoff_policy = BackoffPolicy::kBinaryExponential;
+};
+
+/// Measurements of one simulation window.
+struct SimResult {
+  double elapsed_us = 0.0;
+  std::uint64_t slots = 0;
+  std::uint64_t idle_slots = 0;
+  std::uint64_t success_slots = 0;
+  std::uint64_t collision_slots = 0;
+  /// Collision-free slots whose frame was corrupted by channel noise
+  /// (packet_error_rate); they spend T_s but deliver nothing.
+  std::uint64_t error_slots = 0;
+  /// Collision slots rescued by the capture effect (one frame delivered).
+  std::uint64_t capture_slots = 0;
+  std::vector<NodeCounters> node;
+  /// Time-averaged queue length per node (always 0 in saturated mode,
+  /// where the queue concept does not apply).
+  std::vector<double> mean_backlog;
+
+  /// Normalized throughput S: payload airtime fraction.
+  double throughput = 0.0;
+  /// Per-node payoff rate (n_s·g − n_e·e)/elapsed — the paper's measured
+  /// utility, in gain per µs (comparable with analytical::utility_rates).
+  std::vector<double> payoff_rate;
+  /// Empirical τ_i = attempts_i / slots.
+  std::vector<double> measured_tau;
+  /// Empirical p_i = collisions_i / attempts_i (0 when no attempts).
+  std::vector<double> measured_p;
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig config, const std::vector<int>& cw_profile);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const SimConfig& config() const noexcept { return config_; }
+  int cw(std::size_t i) const { return nodes_.at(i).cw(); }
+
+  /// Reconfigures one node (its backoff restarts, §IV stage semantics).
+  void set_cw(std::size_t i, int w);
+  /// Reconfigures every node to the same window.
+  void set_all_cw(int w);
+  /// Reconfigures from a full profile.
+  void set_profile(const std::vector<int>& cw_profile);
+
+  /// Runs until at least `duration_us` of channel time has elapsed
+  /// (finishing the slot in progress) and returns this window's stats.
+  SimResult run_for(double duration_us);
+
+  /// Runs exactly `n` channel slots.
+  SimResult run_slots(std::uint64_t n);
+
+  /// True when sources are saturated (arrival_rate_pps == 0).
+  bool saturated() const noexcept { return config_.arrival_rate_pps == 0.0; }
+  /// Current queue length of node i (0 in saturated mode).
+  std::uint64_t backlog(std::size_t i) const { return backlog_.at(i); }
+
+ private:
+  struct WindowAccumulator;
+  void step(WindowAccumulator& acc);
+  bool node_active(std::size_t i) const noexcept {
+    return saturated() || backlog_[i] > 0;
+  }
+
+  SimConfig config_;
+  phy::SlotTimes times_;
+  std::vector<DcfNode> nodes_;
+  std::vector<std::uint64_t> backlog_;
+  std::vector<double> backlog_time_integral_;  ///< Σ backlog·slot-length
+  util::Rng arrival_rng_;
+  util::Rng channel_rng_;  ///< PER / capture draws (untouched when both off)
+  std::vector<std::size_t> ready_scratch_;
+};
+
+}  // namespace smac::sim

@@ -1,0 +1,145 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace smac::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::pair<std::string, std::string> split_entry(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("Config: token without '=': " + token);
+  }
+  const std::string key = trim(token.substr(0, eq));
+  if (key.empty()) {
+    throw std::invalid_argument("Config: empty key in: " + token);
+  }
+  return {key, trim(token.substr(eq + 1))};
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto [key, value] = split_entry(argv[i]);
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::from_string(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto [key, value] = split_entry(stripped);
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("Config::set: empty key");
+  values_[key] = value;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(*value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not a number: " + *value);
+  }
+  if (consumed != value->size()) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' has trailing junk: " + *value);
+  }
+  return out;
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::size_t consumed = 0;
+  long out = 0;
+  try {
+    out = std::stol(*value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not an integer: " + *value);
+  }
+  if (consumed != value->size()) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' has trailing junk: " + *value);
+  }
+  if (out < std::numeric_limits<int>::min() ||
+      out > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' out of int range: " + *value);
+  }
+  return static_cast<int>(out);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::string lower = *value;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  throw std::invalid_argument("Config: key '" + key +
+                              "' is not a boolean: " + *value);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace smac::util

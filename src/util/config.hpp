@@ -1,0 +1,56 @@
+// Key-value configuration for examples and experiment harnesses.
+//
+// Accepts `key=value` tokens from the command line or newline-separated
+// files (# comments). Typed getters parse on access and throw
+// std::invalid_argument with the offending key on malformed values, so
+// misconfigured experiments fail loudly instead of running with silently
+// defaulted parameters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smac::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv[1..] as key=value tokens. Throws on tokens without '='
+  /// or with an empty key.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses newline-separated key=value text; blank lines and lines
+  /// starting with '#' are ignored; inline whitespace around keys and
+  /// values is trimmed.
+  static Config from_string(const std::string& text);
+
+  /// Reads and parses a file; throws std::runtime_error when unreadable.
+  static Config from_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+  void set(const std::string& key, const std::string& value);
+
+  /// Raw access; nullopt when absent.
+  std::optional<std::string> raw(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  /// Accepts true/false/1/0/yes/no (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted (for help/debug output).
+  std::vector<std::string> keys() const;
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace smac::util

@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace smac::util {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  if (row.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width != header width");
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << row[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace smac::util

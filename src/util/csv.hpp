@@ -1,0 +1,28 @@
+// Minimal CSV writer for exporting benchmark series (figure data).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace smac::util {
+
+/// Writes rows of doubles with a string header to a CSV file.
+/// Throws std::runtime_error when the file cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& row);
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a string cell per RFC 4180 (quotes when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace smac::util

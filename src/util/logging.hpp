@@ -1,0 +1,50 @@
+// Leveled logging with a process-global threshold.
+//
+// The simulators emit trace/debug detail (per-slot channel outcomes, stage
+// transitions); benchmarks run with the default Info threshold so that
+// output stays comparable to the paper's tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace smac::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets/returns the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Converts a level to its fixed-width tag, e.g. "INFO ".
+const char* log_level_tag(LogLevel level) noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style builder used by the SMAC_LOG macro; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace smac::util
+
+// Usage: SMAC_LOG(kInfo) << "converged after " << k << " stages";
+#define SMAC_LOG(level) \
+  ::smac::util::detail::LogLine(::smac::util::LogLevel::level)

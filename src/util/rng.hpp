@@ -1,0 +1,72 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the library (simulators, mobility models,
+// strategy noise) draw from util::Rng so that every experiment is exactly
+// reproducible from its seed. The generator is xoshiro256** (Blackman &
+// Vigna), which is small, fast, and has no observable statistical defects
+// at the scales used here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace smac::util {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+///
+/// Satisfies the std UniformRandomBitGenerator requirements, so it can be
+/// plugged into <random> distributions, but the member helpers below are
+/// preferred: they are stable across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// bound must be > 0.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given rate (> 0).
+  double exponential(double rate) noexcept;
+
+  /// Poisson-distributed count with the given mean (>= 0). Knuth's method
+  /// below mean 30, normal approximation (rounded, clamped at 0) above.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps. Use to derive
+  /// independent parallel streams from one seed.
+  void jump() noexcept;
+
+  /// Returns a new generator whose stream is 2^128 steps ahead; `this`
+  /// is also advanced, so repeated calls yield disjoint streams.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t next() noexcept;
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace smac::util

@@ -1,0 +1,40 @@
+// Plain-text table rendering for benchmark / example output.
+//
+// Benches reproduce the paper's tables; this renders them in an aligned,
+// monospace-friendly format so the harness output can be compared with the
+// paper side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smac::util {
+
+/// Aligned text table. Columns are sized to the widest cell; numeric cells
+/// should be pre-formatted by the caller (see fmt_double below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   n    Wc* (model)  Wc* (sim)
+  ///   ---  -----------  ---------
+  ///   5    76           75.6
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt_double(double v, int precision = 4);
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace smac::util

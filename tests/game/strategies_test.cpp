@@ -1,0 +1,150 @@
+#include "game/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smac::game {
+namespace {
+
+History make_history(std::vector<std::vector<int>> stages) {
+  History h;
+  for (auto& cw : stages) {
+    StageRecord r;
+    r.cw = std::move(cw);
+    r.utility.assign(r.cw.size(), 0.0);
+    h.push_back(std::move(r));
+  }
+  return h;
+}
+
+TEST(MinCwTest, FindsMinimum) {
+  StageRecord r;
+  r.cw = {64, 16, 128};
+  EXPECT_EQ(min_cw(r), 16);
+  r.cw.clear();
+  EXPECT_THROW(min_cw(r), std::invalid_argument);
+}
+
+TEST(ConstantStrategyTest, AlwaysSameWindow) {
+  ConstantStrategy s(42);
+  EXPECT_EQ(s.initial_cw(), 42);
+  const History h = make_history({{10, 20}, {5, 42}});
+  EXPECT_EQ(s.decide(h, 1), 42);
+  EXPECT_EQ(s.name(), "constant(42)");
+  EXPECT_THROW(ConstantStrategy(0), std::invalid_argument);
+}
+
+TEST(TitForTatTest, CooperatesFirst) {
+  TitForTat s(100);
+  EXPECT_EQ(s.initial_cw(), 100);
+  EXPECT_EQ(s.decide({}, 0), 100);
+}
+
+TEST(TitForTatTest, MatchesMostAggressiveOpponent) {
+  TitForTat s(100);
+  const History h = make_history({{100, 100, 100}, {100, 37, 80}});
+  EXPECT_EQ(s.decide(h, 0), 37);
+}
+
+TEST(TitForTatTest, StaysWhenEveryoneCooperates) {
+  TitForTat s(100);
+  const History h = make_history({{100, 100}});
+  EXPECT_EQ(s.decide(h, 0), 100);
+}
+
+TEST(TitForTatTest, FollowsOwnPastDeviation) {
+  // If this player itself played the smallest window, TFT keeps it (the
+  // min is over all players including self).
+  TitForTat s(100);
+  const History h = make_history({{20, 100}});
+  EXPECT_EQ(s.decide(h, 0), 20);
+}
+
+TEST(GenerousTftTest, ValidatesConstruction) {
+  EXPECT_THROW(GenerousTitForTat(0, 0.9, 3), std::invalid_argument);
+  EXPECT_THROW(GenerousTitForTat(10, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(GenerousTitForTat(10, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(GenerousTitForTat(10, 0.9, 0), std::invalid_argument);
+}
+
+TEST(GenerousTftTest, ToleratesSmallDeviations) {
+  // Opponent at 95 vs own 100 with β = 0.9: 95 >= 0.9·100, tolerated.
+  GenerousTitForTat s(100, 0.9, 1);
+  const History h = make_history({{100, 95}});
+  EXPECT_EQ(s.decide(h, 0), 100);
+}
+
+TEST(GenerousTftTest, PunishesLargeDeviations) {
+  // Opponent at 50 < 0.9·100: react by matching the last-stage minimum.
+  GenerousTitForTat s(100, 0.9, 1);
+  const History h = make_history({{100, 50}});
+  EXPECT_EQ(s.decide(h, 0), 50);
+}
+
+TEST(GenerousTftTest, AveragesOverWindow) {
+  // One noisy stage at 50 out of r0 = 3 averages to (100+100+50)/3 = 83.3,
+  // above 0.9·100 = 90? No — 83.3 < 90, so it reacts. Use a milder dip:
+  // (100+100+80)/3 = 93.3 >= 90 → tolerated.
+  GenerousTitForTat s(100, 0.9, 3);
+  const History noisy =
+      make_history({{100, 100}, {100, 100}, {100, 80}});
+  EXPECT_EQ(s.decide(noisy, 0), 100);
+  // A persistent deviation fails the averaged test and triggers reaction.
+  GenerousTitForTat s2(100, 0.9, 3);
+  const History persistent =
+      make_history({{100, 80}, {100, 80}, {100, 80}});
+  EXPECT_EQ(s2.decide(persistent, 0), 80);
+}
+
+TEST(GenerousTftTest, HandlesHistoryShorterThanWindow) {
+  GenerousTitForTat s(100, 0.9, 5);
+  const History h = make_history({{100, 40}});
+  EXPECT_EQ(s.decide(h, 0), 40);
+}
+
+TEST(GenerousTftTest, NameEncodesParameters) {
+  GenerousTitForTat s(100, 0.9, 3);
+  EXPECT_EQ(s.name(), "gtft(beta=0.9,r0=3)");
+}
+
+TEST(ShortSightedTest, NeverAdapts) {
+  ShortSightedStrategy s(12);
+  EXPECT_EQ(s.initial_cw(), 12);
+  const History h = make_history({{12, 200}, {12, 12}});
+  EXPECT_EQ(s.decide(h, 0), 12);
+}
+
+TEST(MaliciousTest, SwitchesAtAttackStage) {
+  MaliciousStrategy s(336, 2, 3);
+  EXPECT_EQ(s.initial_cw(), 336);
+  History h = make_history({{336, 336}});
+  EXPECT_EQ(s.decide(h, 0), 336);  // next stage = 1 < 3
+  h = make_history({{336, 336}, {336, 336}, {336, 336}});
+  EXPECT_EQ(s.decide(h, 0), 2);  // next stage = 3 >= 3
+}
+
+TEST(MaliciousTest, ImmediateAttack) {
+  MaliciousStrategy s(336, 2, 0);
+  EXPECT_EQ(s.initial_cw(), 2);
+}
+
+TEST(MyopicBestResponseTest, MaximizesOracle) {
+  // Oracle rewards playing exactly 2× the opponent's last window.
+  auto oracle = [](const std::vector<int>& profile, std::size_t self) {
+    const int target = 2 * profile[1 - self];
+    return -std::abs(profile[self] - target) * 1.0;
+  };
+  MyopicBestResponse s(64, 1024, oracle);
+  EXPECT_EQ(s.initial_cw(), 64);
+  const History h = make_history({{64, 100}});
+  EXPECT_EQ(s.decide(h, 0), 200);
+}
+
+TEST(MyopicBestResponseTest, ValidatesConstruction) {
+  auto oracle = [](const std::vector<int>&, std::size_t) { return 0.0; };
+  EXPECT_THROW(MyopicBestResponse(0, 10, oracle), std::invalid_argument);
+  EXPECT_THROW(MyopicBestResponse(20, 10, oracle), std::invalid_argument);
+  EXPECT_THROW(MyopicBestResponse(5, 10, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smac::game

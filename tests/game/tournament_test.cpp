@@ -1,0 +1,127 @@
+#include "game/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/equilibrium.hpp"
+
+namespace smac::game {
+namespace {
+
+const phy::Parameters kParams = phy::Parameters::paper();
+constexpr auto kBasic = phy::AccessMode::kBasic;
+
+Contender tft(int w) {
+  return {"tft", [w] { return std::make_unique<TitForTat>(w); }};
+}
+Contender constant(int w) {
+  return {"constant", [w] { return std::make_unique<ConstantStrategy>(w); }};
+}
+Contender short_sighted(int w) {
+  return {"short-sighted",
+          [w] { return std::make_unique<ShortSightedStrategy>(w); }};
+}
+
+TEST(TournamentTest, ValidatesConstruction) {
+  const StageGame game(kParams, kBasic);
+  EXPECT_THROW(Tournament(game, 1, 10), std::invalid_argument);
+  EXPECT_THROW(Tournament(game, 5, 0), std::invalid_argument);
+  const Tournament t(game, 5, 10);
+  EXPECT_THROW(t.play_mix(tft(76), tft(76), 6), std::invalid_argument);
+  EXPECT_THROW(t.play_mix({"null", nullptr}, tft(76), 2),
+               std::invalid_argument);
+}
+
+TEST(TournamentTest, HomogeneousMixIsSymmetric) {
+  const StageGame game(kParams, kBasic);
+  const Tournament t(game, 6, 20);
+  const MixOutcome mix = t.play_mix(tft(76), tft(76), 3);
+  EXPECT_EQ(mix.count_a, 3);
+  EXPECT_EQ(mix.count_b, 3);
+  EXPECT_NEAR(mix.payoff_a, mix.payoff_b, 1e-9 * std::abs(mix.payoff_a));
+}
+
+TEST(TournamentTest, MutantHeadStartPersistsInGame) {
+  // The collective-punishment effect the resistance notion must handle:
+  // within the invaded game a short-sighted mutant stays ahead of the TFT
+  // residents forever (everyone ends on the mutant's window, but only the
+  // mutant banked the deviation stage).
+  const StageGame game(kParams, kBasic);
+  const Tournament t(game, 6, 100);
+  const MixOutcome mix = t.play_mix(tft(79), short_sighted(20), 5);
+  EXPECT_GT(mix.payoff_b, mix.payoff_a);
+}
+
+TEST(TournamentTest, TftResistsShortSightedDeviators) {
+  // …but against the pure-TFT counterfactual, deviating does not pay on a
+  // long horizon with the paper's discount factor: TFT resists.
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 6).efficient_cw();
+  const Tournament t(game, 6, 300);
+  EXPECT_TRUE(t.resists_invasion(tft(w_star), short_sighted(w_star / 4)));
+}
+
+TEST(TournamentTest, ConstantPopulationIsInvadable) {
+  // Constant players never punish: the short-sighted mutant keeps its
+  // aggressive window and out-earns the pure-constant counterfactual
+  // forever. The punishment, not the convention, protects the NE.
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 6).efficient_cw();
+  const Tournament t(game, 6, 300);
+  EXPECT_FALSE(
+      t.resists_invasion(constant(w_star), short_sighted(w_star / 4)));
+}
+
+TEST(TournamentTest, CooperativeMutantsAreNeutral) {
+  // A constant(W*) mutant in a TFT(W*) population plays identically to
+  // the residents: neutral, hence resisted.
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 6).efficient_cw();
+  const Tournament t(game, 6, 50);
+  EXPECT_TRUE(t.resists_invasion(tft(w_star), constant(w_star)));
+  EXPECT_TRUE(t.resists_invasion(constant(w_star), tft(w_star)));
+}
+
+TEST(TournamentTest, ShortHorizonRewardsDeviation) {
+  // The §V.D boundary: with few stages the deviation jackpot outweighs
+  // the punishment tail, so even a TFT population fails to deter.
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 6).efficient_cw();
+  const Tournament t_short(game, 6, 5);
+  EXPECT_FALSE(
+      t_short.resists_invasion(tft(w_star), short_sighted(w_star / 4)));
+}
+
+TEST(TournamentTest, InvasionMatrixShapesUp) {
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 5).efficient_cw();
+  const Tournament t(game, 5, 300);
+  const auto roster = standard_roster(game, 5, w_star);
+  const auto matrix = t.invasion_matrix(roster);
+  ASSERT_EQ(matrix.size(), roster.size());
+  // Diagonal trivially true.
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    EXPECT_TRUE(matrix[i][i]);
+  }
+  // TFT (index 0) resists everyone in the standard roster.
+  for (std::size_t j = 0; j < roster.size(); ++j) {
+    EXPECT_TRUE(matrix[0][j]) << "TFT invaded by " << roster[j].name;
+  }
+  // Constant (index 2) is invadable by the short-sighted deviant (3).
+  EXPECT_FALSE(matrix[2][3]);
+}
+
+TEST(TournamentTest, RoundRobinScoresFavorPunishers) {
+  const StageGame game(kParams, kBasic);
+  const int w_star = EquilibriumFinder(game, 5).efficient_cw();
+  const Tournament t(game, 5, 120);
+  const auto roster = standard_roster(game, 5, w_star);
+  const auto scores = t.round_robin_scores(roster);
+  ASSERT_EQ(scores.size(), roster.size());
+  // TFT and GTFT (punishers) outscore the never-punishing constant across
+  // the mixes (which include facing the short-sighted deviant).
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+}  // namespace
+}  // namespace smac::game

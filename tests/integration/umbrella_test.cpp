@@ -1,0 +1,30 @@
+// Compile-and-smoke test of the umbrella header: every public module is
+// reachable through one include, and the README's one-liner works.
+#include "smac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, ReadmeOneLinerWorks) {
+  const auto w = smac::game::EquilibriumFinder(
+                     smac::game::StageGame(smac::phy::Parameters::paper(),
+                                           smac::phy::AccessMode::kBasic),
+                     10)
+                     .efficient_cw();
+  EXPECT_GT(w, 100);
+  EXPECT_LT(w, 300);
+}
+
+TEST(UmbrellaTest, EveryNamespaceIsReachable) {
+  smac::util::Rng rng(1);
+  EXPECT_LT(rng.uniform01(), 1.0);
+  EXPECT_GT(smac::phy::Parameters::paper().payload_us(), 0.0);
+  EXPECT_GT(smac::analytical::transmission_probability(32, 0.1, 6), 0.0);
+  smac::sim::SimConfig sim_config;
+  EXPECT_EQ(sim_config.arrival_rate_pps, 0.0);
+  smac::multihop::Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Outcome-classification edge cases of the multi-hop simulator: who is a
+// sender-visible collision, who is a hidden loss, and how local clocks
+// account for each.
+#include <gtest/gtest.h>
+
+#include "multihop/multihop_simulator.hpp"
+
+namespace smac::multihop {
+namespace {
+
+MultihopConfig make_config(std::uint64_t seed = 1) {
+  MultihopConfig config;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ClassificationTest, ReceiverBusyCountsAsHiddenLoss) {
+  // Two nodes alone: whenever both transmit, each picks the other as
+  // receiver; sender ranges overlap so it classifies as sender-visible
+  // collision — never as hidden. With W = 1 both transmit *every* slot.
+  const Topology pair({{0, 0}, {100, 0}}, 250.0);
+  MultihopSimulator sim(make_config(2), pair, {1, 1});
+  const auto r = sim.run_slots(200);  // W=1,m=6: they escape via backoff
+  EXPECT_EQ(r.node[0].hidden_losses, 0u);
+  EXPECT_EQ(r.node[1].hidden_losses, 0u);
+}
+
+TEST(ClassificationTest, PureHiddenPairNeverSendersVisible) {
+  // A(0)→B(200)←C(400): A and C cannot sense each other. Every loss at
+  // the ends must classify as hidden, none as sender-visible.
+  const Topology chain({{0, 0}, {200, 0}, {400, 0}}, 250.0);
+  // Make the middle node passive (huge window) so only the hidden pair
+  // contends.
+  MultihopSimulator sim(make_config(3), chain, {4, 4096, 4});
+  const auto r = sim.run_slots(100000);
+  EXPECT_GT(r.node[0].hidden_losses, 0u);
+  EXPECT_GT(r.node[2].hidden_losses, 0u);
+  // The ends can never be sender-visible to each other; the only possible
+  // sender-visible partner is the (nearly silent) middle node.
+  EXPECT_LT(r.node[0].sender_collisions, r.node[0].hidden_losses / 5 + 5);
+}
+
+TEST(ClassificationTest, HiddenLossesEscalateBackoff) {
+  // A hidden loss must behave like a collision for the sender: the
+  // failure probability measured by the ends of the hidden chain exceeds
+  // what two isolated pairs would see.
+  const Topology chain({{0, 0}, {200, 0}, {400, 0}}, 250.0);
+  MultihopSimulator hidden(make_config(4), chain, {8, 4096, 8});
+  const auto r_hidden = hidden.run_slots(100000);
+
+  const Topology lone({{0, 0}, {100, 0}}, 250.0);
+  MultihopSimulator isolated(make_config(4), lone, {8, 8});
+  const auto r_lone = isolated.run_slots(100000);
+
+  const double fail_hidden =
+      1.0 - static_cast<double>(r_hidden.node[0].successes) /
+                static_cast<double>(r_hidden.node[0].attempts);
+  const double fail_lone =
+      1.0 - static_cast<double>(r_lone.node[0].successes) /
+                static_cast<double>(r_lone.node[0].attempts);
+  EXPECT_GT(fail_hidden, fail_lone);
+}
+
+TEST(ClassificationTest, LocalClockSeesNeighborSuccessAsBusy) {
+  // A bystander within range of a busy pair accrues T_s-sized slots, so
+  // its local time outpaces an out-of-range observer's.
+  const Topology topo({{0, 0}, {100, 0}, {200, 0}, {5000, 5000}}, 250.0);
+  // Nodes 0,1 busy; node 2 passive but in range of 1; node 3 far away.
+  MultihopSimulator sim(make_config(5), topo, {8, 8, 4096, 4096});
+  const auto r = sim.run_slots(50000);
+  EXPECT_GT(r.node[2].local_time_us, 1.5 * r.node[3].local_time_us);
+}
+
+TEST(ClassificationTest, PerNodePHnAggregatesConsistently) {
+  util::Rng rng(6);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 25; ++i) {
+    pos.push_back({rng.uniform_real(0, 800), rng.uniform_real(0, 800)});
+  }
+  MultihopSimulator sim(make_config(7), Topology(pos, 250.0),
+                        std::vector<int>(25, 16));
+  const auto r = sim.run_slots(100000);
+  // Aggregate p_hn = Σ successes / Σ (successes + hidden losses).
+  std::uint64_t succ = 0;
+  std::uint64_t clear = 0;
+  for (const auto& node : r.node) {
+    succ += node.successes;
+    clear += node.successes + node.hidden_losses;
+    EXPECT_GE(node.measured_p_hn, 0.0);
+    EXPECT_LE(node.measured_p_hn, 1.0);
+  }
+  ASSERT_GT(clear, 0u);
+  EXPECT_NEAR(r.aggregate_p_hn,
+              static_cast<double>(succ) / static_cast<double>(clear), 1e-12);
+}
+
+}  // namespace
+}  // namespace smac::multihop

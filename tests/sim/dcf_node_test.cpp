@@ -1,0 +1,126 @@
+#include "sim/dcf_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smac::sim {
+namespace {
+
+util::Rng rng(std::uint64_t seed = 1) { return util::Rng(seed); }
+
+TEST(DcfNodeTest, ValidatesConstruction) {
+  EXPECT_THROW(DcfNode(0, 6, rng()), std::invalid_argument);
+  EXPECT_THROW(DcfNode(8, -1, rng()), std::invalid_argument);
+}
+
+TEST(DcfNodeTest, InitialStateIsStageZero) {
+  const DcfNode node(16, 6, rng());
+  EXPECT_EQ(node.stage(), 0);
+  EXPECT_GE(node.counter(), 0);
+  EXPECT_LT(node.counter(), 16);
+}
+
+TEST(DcfNodeTest, ObserveSlotDecrementsToZeroAndStops) {
+  DcfNode node(8, 6, rng(3));
+  const auto start = node.counter();
+  for (std::int64_t i = 0; i < start; ++i) {
+    EXPECT_FALSE(node.ready());
+    node.observe_slot();
+  }
+  EXPECT_TRUE(node.ready());
+  node.observe_slot();  // must not underflow
+  EXPECT_TRUE(node.ready());
+  EXPECT_EQ(node.counter(), 0);
+}
+
+TEST(DcfNodeTest, CollisionDoublesWindowUpToCap) {
+  DcfNode node(8, 2, rng(5));
+  // Stage advances 0→1→2 then saturates at 2.
+  node.on_collision();
+  EXPECT_EQ(node.stage(), 1);
+  EXPECT_LT(node.counter(), 16);
+  node.on_collision();
+  EXPECT_EQ(node.stage(), 2);
+  EXPECT_LT(node.counter(), 32);
+  node.on_collision();
+  EXPECT_EQ(node.stage(), 2);  // capped at m
+}
+
+TEST(DcfNodeTest, SuccessResetsToStageZero) {
+  DcfNode node(8, 4, rng(6));
+  node.on_collision();
+  node.on_collision();
+  ASSERT_EQ(node.stage(), 2);
+  node.on_success();
+  EXPECT_EQ(node.stage(), 0);
+  EXPECT_LT(node.counter(), 8);
+}
+
+TEST(DcfNodeTest, CountersTrackOutcomes) {
+  DcfNode node(8, 4, rng(7));
+  node.on_success();
+  node.on_collision();
+  node.on_collision();
+  node.on_success();
+  const NodeCounters& c = node.counters();
+  EXPECT_EQ(c.attempts, 4u);
+  EXPECT_EQ(c.successes, 2u);
+  EXPECT_EQ(c.collisions, 2u);
+}
+
+TEST(DcfNodeTest, ResetCountersPreservesBackoffState) {
+  DcfNode node(8, 4, rng(8));
+  node.on_collision();
+  const int stage = node.stage();
+  const auto counter = node.counter();
+  node.reset_counters();
+  EXPECT_EQ(node.counters().attempts, 0u);
+  EXPECT_EQ(node.stage(), stage);
+  EXPECT_EQ(node.counter(), counter);
+}
+
+TEST(DcfNodeTest, SetCwRestartsBackoff) {
+  DcfNode node(8, 4, rng(9));
+  node.on_collision();
+  node.on_collision();
+  node.set_cw(64);
+  EXPECT_EQ(node.cw(), 64);
+  EXPECT_EQ(node.stage(), 0);
+  EXPECT_LT(node.counter(), 64);
+  EXPECT_THROW(node.set_cw(0), std::invalid_argument);
+}
+
+TEST(DcfNodeTest, WindowOneAlwaysReady) {
+  // W = 1 at stage 0: the only possible draw is 0.
+  DcfNode node(1, 0, rng(10));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(node.ready());
+    node.on_success();
+  }
+}
+
+TEST(DcfNodeTest, BackoffDrawsAreUniform) {
+  // Empirical check of the uniform draw over [0, W).
+  DcfNode node(10, 0, rng(11));
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    node.on_success();  // redraw at stage 0
+    ++counts.at(static_cast<std::size_t>(node.counter()));
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 / 10);
+  }
+}
+
+TEST(DcfNodeTest, DeterministicGivenSeed) {
+  DcfNode a(32, 6, rng(42));
+  DcfNode b(32, 6, rng(42));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.counter(), b.counter());
+    a.on_collision();
+    b.on_collision();
+  }
+}
+
+}  // namespace
+}  // namespace smac::sim

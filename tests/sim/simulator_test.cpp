@@ -1,0 +1,169 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytical/fixed_point_solver.hpp"
+#include "analytical/throughput.hpp"
+#include "analytical/utility.hpp"
+
+namespace smac::sim {
+namespace {
+
+SimConfig make_config(phy::AccessMode mode = phy::AccessMode::kBasic,
+                      std::uint64_t seed = 1) {
+  SimConfig config;
+  config.mode = mode;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SimulatorTest, ValidatesConstruction) {
+  EXPECT_THROW(Simulator(make_config(), {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RejectsBadRuns) {
+  Simulator sim(make_config(), {32, 32});
+  EXPECT_THROW(sim.run_for(0.0), std::invalid_argument);
+  EXPECT_THROW(sim.run_slots(0), std::invalid_argument);
+}
+
+TEST(SimulatorTest, SlotAccountingIsConsistent) {
+  Simulator sim(make_config(), {32, 32, 32});
+  const SimResult r = sim.run_slots(20000);
+  EXPECT_EQ(r.slots, r.idle_slots + r.success_slots + r.collision_slots);
+  const phy::SlotTimes t =
+      phy::Parameters::paper().slot_times(phy::AccessMode::kBasic);
+  const double reconstructed = r.idle_slots * t.sigma_us +
+                               r.success_slots * t.ts_us +
+                               r.collision_slots * t.tc_us;
+  EXPECT_NEAR(r.elapsed_us, reconstructed, 1e-6);
+}
+
+TEST(SimulatorTest, PerNodeCountersSumToChannelEvents) {
+  Simulator sim(make_config(), {16, 16, 16, 16});
+  const SimResult r = sim.run_slots(20000);
+  std::uint64_t successes = 0;
+  for (const auto& node : r.node) successes += node.successes;
+  EXPECT_EQ(successes, r.success_slots);
+}
+
+TEST(SimulatorTest, SingleNodeNeverCollides) {
+  Simulator sim(make_config(), {16});
+  const SimResult r = sim.run_slots(5000);
+  EXPECT_EQ(r.collision_slots, 0u);
+  EXPECT_EQ(r.node[0].collisions, 0u);
+  EXPECT_NEAR(r.measured_p[0], 0.0, 1e-12);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  Simulator a(make_config(phy::AccessMode::kBasic, 99), {32, 64});
+  Simulator b(make_config(phy::AccessMode::kBasic, 99), {32, 64});
+  const SimResult ra = a.run_slots(5000);
+  const SimResult rb = b.run_slots(5000);
+  EXPECT_EQ(ra.success_slots, rb.success_slots);
+  EXPECT_EQ(ra.node[0].attempts, rb.node[0].attempts);
+  EXPECT_DOUBLE_EQ(ra.elapsed_us, rb.elapsed_us);
+}
+
+TEST(SimulatorTest, MeasuredTauMatchesModelHomogeneous) {
+  // Cross-validation: empirical τ and p within a few percent of the
+  // extended Bianchi fixed point.
+  const int n = 10;
+  const int w = 64;
+  Simulator sim(make_config(phy::AccessMode::kBasic, 5),
+                std::vector<int>(n, w));
+  const SimResult r = sim.run_slots(400000);
+  const auto model = analytical::solve_network_homogeneous(w, n, 6);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.measured_tau[i], model.tau[0], 0.05 * model.tau[0]);
+    EXPECT_NEAR(r.measured_p[i], model.p[0], 0.05);
+  }
+}
+
+TEST(SimulatorTest, MeasuredTauMatchesModelHeterogeneous) {
+  const std::vector<int> profile{16, 64, 256};
+  Simulator sim(make_config(phy::AccessMode::kBasic, 6), profile);
+  const SimResult r = sim.run_slots(400000);
+  const auto model = analytical::solve_network(profile, 6);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_NEAR(r.measured_tau[i], model.tau[i], 0.06 * model.tau[i] + 1e-4);
+  }
+  // Lemma 1 empirically: smaller window transmits more, earns more.
+  EXPECT_GT(r.measured_tau[0], r.measured_tau[1]);
+  EXPECT_GT(r.measured_tau[1], r.measured_tau[2]);
+  EXPECT_GT(r.payoff_rate[0], r.payoff_rate[2]);
+}
+
+TEST(SimulatorTest, ThroughputMatchesModel) {
+  const int n = 10;
+  const int w = 128;
+  Simulator sim(make_config(phy::AccessMode::kBasic, 7),
+                std::vector<int>(n, w));
+  const SimResult r = sim.run_slots(300000);
+  const auto metrics = analytical::homogeneous_channel_metrics(
+      w, n, phy::Parameters::paper(), phy::AccessMode::kBasic);
+  EXPECT_NEAR(r.throughput, metrics.throughput, 0.03);
+}
+
+TEST(SimulatorTest, PayoffRateMatchesModelUtility) {
+  const int n = 5;
+  const int w = 76;
+  Simulator sim(make_config(phy::AccessMode::kBasic, 8),
+                std::vector<int>(n, w));
+  const SimResult r = sim.run_slots(400000);
+  const double model_u = analytical::homogeneous_utility_rate(
+      w, n, phy::Parameters::paper(), phy::AccessMode::kBasic);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.payoff_rate[i], model_u, 0.08 * model_u);
+  }
+}
+
+TEST(SimulatorTest, RtsCtsCollisionsAreCheap) {
+  const auto profile = std::vector<int>(20, 16);
+  Simulator basic(make_config(phy::AccessMode::kBasic, 9), profile);
+  Simulator rts(make_config(phy::AccessMode::kRtsCts, 9), profile);
+  const SimResult rb = basic.run_slots(50000);
+  const SimResult rr = rts.run_slots(50000);
+  // Same seed → same slot outcomes, but elapsed channel time differs
+  // because collisions cost T_c' << T_c.
+  EXPECT_GT(rb.collision_slots, 0u);
+  EXPECT_LT(rr.elapsed_us, rb.elapsed_us);
+  EXPECT_GT(rr.throughput, rb.throughput);
+}
+
+TEST(SimulatorTest, RunForReachesRequestedDuration) {
+  Simulator sim(make_config(), {32, 32});
+  const double want_us = 1e6;
+  const SimResult r = sim.run_for(want_us);
+  EXPECT_GE(r.elapsed_us, want_us);
+  // Overshoot bounded by one busy slot.
+  EXPECT_LT(r.elapsed_us, want_us + 10000.0);
+}
+
+TEST(SimulatorTest, SetCwTakesEffect) {
+  Simulator sim(make_config(phy::AccessMode::kBasic, 10), {1024, 1024});
+  const SimResult before = sim.run_slots(50000);
+  sim.set_all_cw(8);
+  const SimResult after = sim.run_slots(50000);
+  EXPECT_GT(after.measured_tau[0], 5.0 * before.measured_tau[0]);
+  EXPECT_EQ(sim.cw(0), 8);
+}
+
+TEST(SimulatorTest, SetProfileValidatesSize) {
+  Simulator sim(make_config(), {32, 32});
+  EXPECT_THROW(sim.set_profile({16}), std::invalid_argument);
+  sim.set_profile({16, 64});
+  EXPECT_EQ(sim.cw(0), 16);
+  EXPECT_EQ(sim.cw(1), 64);
+}
+
+TEST(SimulatorTest, AggressiveNodeDominatesThroughput) {
+  Simulator sim(make_config(phy::AccessMode::kBasic, 11), {8, 256});
+  const SimResult r = sim.run_slots(100000);
+  EXPECT_GT(r.node[0].successes, 3 * r.node[1].successes);
+}
+
+}  // namespace
+}  // namespace smac::sim

@@ -1,0 +1,107 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace smac::util {
+namespace {
+
+TEST(ConfigTest, FromArgsParsesTokens) {
+  const char* argv[] = {"prog", "n=20", "mode=rts-cts", "per=0.05"};
+  const Config config = Config::from_args(4, argv);
+  EXPECT_EQ(config.size(), 3u);
+  EXPECT_EQ(config.get_int("n", 0), 20);
+  EXPECT_EQ(config.get_string("mode", ""), "rts-cts");
+  EXPECT_DOUBLE_EQ(config.get_double("per", 0.0), 0.05);
+}
+
+TEST(ConfigTest, FromArgsRejectsMalformedTokens) {
+  const char* bad_eq[] = {"prog", "noequals"};
+  EXPECT_THROW(Config::from_args(2, bad_eq), std::invalid_argument);
+  const char* bad_key[] = {"prog", "=value"};
+  EXPECT_THROW(Config::from_args(2, bad_key), std::invalid_argument);
+}
+
+TEST(ConfigTest, FromStringSkipsCommentsAndBlanks) {
+  const Config config = Config::from_string(
+      "# experiment\n"
+      "\n"
+      "  n = 50 \n"
+      "seed=7\n");
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_EQ(config.get_int("n", 0), 50);
+  EXPECT_EQ(config.get_int("seed", 0), 7);
+}
+
+TEST(ConfigTest, LaterEntriesOverrideEarlier) {
+  const Config config = Config::from_string("n=5\nn=10\n");
+  EXPECT_EQ(config.get_int("n", 0), 10);
+}
+
+TEST(ConfigTest, FallbacksForAbsentKeys) {
+  const Config config;
+  EXPECT_EQ(config.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(config.get_string("missing", "x"), "x");
+  EXPECT_TRUE(config.get_bool("missing", true));
+  EXPECT_FALSE(config.has("missing"));
+  EXPECT_FALSE(config.raw("missing").has_value());
+}
+
+TEST(ConfigTest, TypedGettersRejectGarbage) {
+  const Config config = Config::from_string(
+      "num=12abc\nflt=1.5x\nflag=maybe\n");
+  EXPECT_THROW(config.get_int("num", 0), std::invalid_argument);
+  EXPECT_THROW(config.get_double("flt", 0.0), std::invalid_argument);
+  EXPECT_THROW(config.get_bool("flag", false), std::invalid_argument);
+  // But raw/string access still works.
+  EXPECT_EQ(config.get_string("num", ""), "12abc");
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  const Config config = Config::from_string(
+      "a=true\nb=FALSE\nc=1\nd=0\ne=Yes\nf=no\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+  EXPECT_TRUE(config.get_bool("e", false));
+  EXPECT_FALSE(config.get_bool("f", true));
+}
+
+TEST(ConfigTest, SetAndKeys) {
+  Config config;
+  config.set("zeta", "1");
+  config.set("alpha", "2");
+  EXPECT_THROW(config.set("", "3"), std::invalid_argument);
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");  // sorted
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(ConfigTest, FromFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/smac_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# scenario\nn=100\nrange_m=250.0\nmobile=yes\n";
+  }
+  const Config config = Config::from_file(path);
+  EXPECT_EQ(config.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(config.get_double("range_m", 0.0), 250.0);
+  EXPECT_TRUE(config.get_bool("mobile", false));
+  std::remove(path.c_str());
+  EXPECT_THROW(Config::from_file("/nonexistent/nope.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigTest, IntRangeGuard) {
+  const Config config = Config::from_string("big=99999999999\n");
+  EXPECT_THROW(config.get_int("big", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(config.get_double("big", 0.0), 99999999999.0);
+}
+
+}  // namespace
+}  // namespace smac::util

@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace smac::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: Σ(x-5)² = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // underflow -> bin 0
+  h.add(42.0);   // overflow -> bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsLo) {
+  Histogram h(5.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(JainFairnessTest, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(JainFairnessTest, MaximallyUnfair) {
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairnessTest, EmptyAndZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(VectorStatsTest, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(variance_of(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_of({7.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace smac::util

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace smac::util {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"n", "Wc*"});
+  t.add_row({"5", "76"});
+  t.add_row({"50", "879"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("n   Wc*"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("50  879"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, StreamsToOstream) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(0.9634, 1), "96.3%");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/smac_csv_test.csv";
+  {
+    CsvWriter w(path, {"w", "payoff"});
+    w.add_row({76.0, 2.014e-05});
+    w.add_row({80.0, 2.01e-05});
+    EXPECT_EQ(w.rows_written(), 2u);
+    EXPECT_THROW(w.add_row({1.0}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "w,payoff");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.substr(0, 3), "76,");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(LoggingTest, ThresholdFilters) {
+  const LogLevel prior = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash and must be filtered (no observable assertion on
+  // stderr content here; we assert the level round-trips).
+  SMAC_LOG(kDebug) << "invisible";
+  SMAC_LOG(kError) << "visible";
+  set_log_level(prior);
+}
+
+TEST(LoggingTest, TagsAreStable) {
+  EXPECT_STREQ(log_level_tag(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_tag(LogLevel::kInfo), "INFO ");
+  EXPECT_STREQ(log_level_tag(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace smac::util
