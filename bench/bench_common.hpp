@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include "parallel/thread_pool.hpp"
 
 namespace smac::bench {
 
@@ -14,6 +17,37 @@ inline void print_header(const std::string& experiment,
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("%s\n", description.c_str());
   std::printf("================================================================\n\n");
+}
+
+/// Worker count for replication fan-out: `--jobs N` / `--jobs=N` on the
+/// command line wins, then the SMAC_JOBS environment variable, then
+/// hardware concurrency (both via ThreadPool::default_jobs()). Returns at
+/// least 1; malformed values fall through to the default. Results are
+/// seed-determined and independent of this knob — it only changes
+/// wall-clock time.
+inline std::size_t jobs_option(int argc, const char* const* argv) {
+  auto parse = [](const char* text) -> std::size_t {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    return (end != text && *end == '\0' && v > 0)
+               ? static_cast<std::size_t>(v)
+               : 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      if (const std::size_t v = parse(arg.c_str() + 7)) return v;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (const std::size_t v = parse(argv[i + 1])) return v;
+    }
+  }
+  return parallel::ThreadPool::default_jobs();
+}
+
+inline void print_jobs(std::size_t jobs) {
+  std::printf("replication jobs = %zu (override: --jobs N or SMAC_JOBS; "
+              "results are seed-determined, independent of jobs)\n\n",
+              jobs);
 }
 
 }  // namespace smac::bench

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "parallel/replication.hpp"
 #include "sim/misbehavior_detector.hpp"
 #include "util/table.hpp"
 
@@ -18,32 +19,41 @@ namespace {
 
 using namespace smac;
 
-// Fraction of runs in which node 0 is flagged.
+std::size_t g_jobs = 1;
+
+// Fraction of independent replications in which node 0 is flagged.
+// Replication r runs with stream seed (0xdec0 + w_node0, r), so the rate
+// is a pure function of the arguments — independent of g_jobs.
 double measured_rate(int w_agreed, int w_node0, std::uint64_t slots,
                      const sim::DetectorConfig& config, int runs) {
-  int flagged = 0;
-  for (int r = 0; r < runs; ++r) {
-    sim::SimConfig sc;
-    sc.seed = 0xdec0 + static_cast<std::uint64_t>(r) * 31 +
-              static_cast<std::uint64_t>(w_node0);
-    std::vector<int> profile(5, w_agreed);
-    profile[0] = w_node0;
-    sim::Simulator simulator(sc, profile);
-    const auto verdicts =
-        sim::detect_misbehavior(simulator.run_slots(slots), w_agreed, 6,
-                                config);
-    if (verdicts[0].flagged) ++flagged;
-  }
-  return static_cast<double>(flagged) / runs;
+  const parallel::ReplicationRunner runner(
+      {static_cast<std::size_t>(runs),
+       0xdec0 + static_cast<std::uint64_t>(w_node0), g_jobs});
+  const auto flagged = runner.run(
+      [&](std::uint64_t seed, std::size_t /*index*/) {
+        sim::SimConfig sc;
+        sc.seed = seed;
+        std::vector<int> profile(5, w_agreed);
+        profile[0] = w_node0;
+        sim::Simulator simulator(sc, profile);
+        const auto verdicts = sim::detect_misbehavior(
+            simulator.run_slots(slots), w_agreed, 6, config);
+        return verdicts[0].flagged ? 1 : 0;
+      });
+  int count = 0;
+  for (int f : flagged) count += f;
+  return static_cast<double>(count) / runs;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Contention-window misbehavior detection",
       "ref [3] (Kyasanur & Vaidya) enforcement companion",
       "Agreement W = 64, n = 5, significance 1%, tolerance 5%.");
+  g_jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(g_jobs);
 
   const sim::DetectorConfig config;
 

@@ -8,10 +8,12 @@
 // DESIGN.md.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "game/repeated_game.hpp"
+#include "parallel/replication.hpp"
 #include "sim/adaptive_runtime.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -30,11 +32,13 @@ std::vector<int> heterogeneous_starts(int n, int lo, int hi,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "TFT / GTFT convergence",
       "paper §IV (TFT properties; GTFT tolerance parameters beta, r0)",
       "Basic access, n = 6, heterogeneous initial windows in [40, 400].");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kBasic);
@@ -42,32 +46,48 @@ int main() {
 
   // 1. TFT from heterogeneous starts: converges to min in one stage in a
   //    single collision domain (full observation), both engines agreeing.
+  //    The trials are independent Monte-Carlo replications (base seed
+  //    100): each derives its starts and its simulator stream from the
+  //    per-trial seed, so the table is identical at any --jobs.
+  struct TrialRow {
+    std::string starts;
+    int converged = -1;
+    int stable_from = 0;
+    bool sim_agrees = false;
+  };
+  const parallel::ReplicationRunner trials({4, 100, jobs});
+  const auto rows = trials.run(
+      [&](std::uint64_t seed, std::size_t /*trial*/) {
+        const auto starts =
+            heterogeneous_starts(n, 40, 400, parallel::stream_seed(seed, 0));
+        std::vector<std::unique_ptr<game::Strategy>> model_pop;
+        std::vector<std::unique_ptr<game::Strategy>> sim_pop;
+        TrialRow row;
+        for (int w : starts) {
+          model_pop.push_back(std::make_unique<game::TitForTat>(w));
+          sim_pop.push_back(std::make_unique<game::TitForTat>(w));
+          row.starts += std::to_string(w) + " ";
+        }
+        game::RepeatedGameEngine engine(game, std::move(model_pop));
+        const auto model_result = engine.play(5);
+
+        sim::SimConfig config;
+        config.seed = parallel::stream_seed(seed, 1);
+        sim::AdaptiveRuntime runtime(config, std::move(sim_pop), 3e5);
+        const auto sim_result = runtime.play(5);
+
+        row.converged = model_result.converged_cw.value_or(-1);
+        row.stable_from = model_result.stable_from;
+        row.sim_agrees = sim_result.converged_cw == model_result.converged_cw;
+        return row;
+      });
   util::TextTable tft({"trial", "initial windows", "converged W",
                        "stable from stage", "sim agrees"});
-  for (int trial = 0; trial < 4; ++trial) {
-    const auto starts =
-        heterogeneous_starts(n, 40, 400, 100 + static_cast<std::uint64_t>(trial));
-    std::vector<std::unique_ptr<game::Strategy>> model_pop;
-    std::vector<std::unique_ptr<game::Strategy>> sim_pop;
-    std::string start_str;
-    for (int w : starts) {
-      model_pop.push_back(std::make_unique<game::TitForTat>(w));
-      sim_pop.push_back(std::make_unique<game::TitForTat>(w));
-      start_str += std::to_string(w) + " ";
-    }
-    game::RepeatedGameEngine engine(game, std::move(model_pop));
-    const auto model_result = engine.play(5);
-
-    sim::SimConfig config;
-    config.seed = 7 + static_cast<std::uint64_t>(trial);
-    sim::AdaptiveRuntime runtime(config, std::move(sim_pop), 3e5);
-    const auto sim_result = runtime.play(5);
-
-    tft.add_row(
-        {std::to_string(trial), start_str,
-         std::to_string(model_result.converged_cw.value_or(-1)),
-         std::to_string(model_result.stable_from),
-         sim_result.converged_cw == model_result.converged_cw ? "yes" : "no"});
+  for (std::size_t trial = 0; trial < rows.size(); ++trial) {
+    tft.add_row({std::to_string(trial), rows[trial].starts,
+                 std::to_string(rows[trial].converged),
+                 std::to_string(rows[trial].stable_from),
+                 rows[trial].sim_agrees ? "yes" : "no"});
   }
   std::printf("%s\n", tft.to_string().c_str());
 

@@ -18,11 +18,13 @@ namespace {
 using namespace smac;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Strategy tournament: invasion resistance and round-robin scores",
       "paper §IV (TFT as 'the best strategy'), §V.D deterrence boundary",
       "Basic access, n = 5, delta = 0.9999, W* anchors the roster.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kBasic);
@@ -30,8 +32,8 @@ int main() {
   const int w_star = game::EquilibriumFinder(game, n).efficient_cw();
   const auto roster = game::standard_roster(game, n, w_star);
 
-  // 1. Invasion matrix at a long horizon.
-  const game::Tournament tournament(game, n, 300);
+  // 1. Invasion matrix at a long horizon (mixes fanned across jobs).
+  const game::Tournament tournament(game, n, 300, jobs);
   const auto matrix = tournament.invasion_matrix(roster);
   util::TextTable inv({"population \\ mutant", roster[0].name, roster[1].name,
                        roster[2].name, roster[3].name});
@@ -58,7 +60,7 @@ int main() {
   const game::Contender resident = roster[0];
   int horizon = -1;
   for (int stages : {5, 10, 20, 40, 60, 80, 120, 200, 300}) {
-    const game::Tournament t(game, n, stages);
+    const game::Tournament t(game, n, stages, jobs);
     if (t.resists_invasion(resident, mutant)) {
       horizon = stages;
       break;

@@ -31,12 +31,18 @@ double StageGame::homogeneous_utility_rate(int w, int n) const {
     throw std::invalid_argument("StageGame: homogeneous w/n out of range");
   }
   const auto key = std::make_pair(w, n);
-  if (const auto it = homogeneous_cache_.find(key);
-      it != homogeneous_cache_.end()) {
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = homogeneous_cache_.find(key);
+        it != homogeneous_cache_.end()) {
+      return it->second;
+    }
   }
+  // Solve outside the lock: concurrent misses on the same key may both
+  // compute, but the solver is deterministic so they agree.
   const double u = analytical::homogeneous_utility_rate(
       static_cast<double>(w), n, params_, mode_);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   homogeneous_cache_.emplace(key, u);
   return u;
 }

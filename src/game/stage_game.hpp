@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -19,7 +20,9 @@ namespace smac::game {
 /// Evaluates stage payoffs of contention-window profiles.
 ///
 /// Homogeneous evaluations are memoized: equilibrium sweeps and repeated
-/// games revisit the same (w, n) points thousands of times.
+/// games revisit the same (w, n) points thousands of times. The memo
+/// cache is mutex-guarded, so const evaluation is safe from concurrent
+/// threads (parallel tournaments share one StageGame across workers).
 class StageGame {
  public:
   StageGame(phy::Parameters params, phy::AccessMode mode);
@@ -53,6 +56,7 @@ class StageGame {
  private:
   phy::Parameters params_;
   phy::AccessMode mode_;
+  mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<int, int>, double> homogeneous_cache_;
 };
 

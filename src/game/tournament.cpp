@@ -3,15 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "game/equilibrium.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace smac::game {
 
-Tournament::Tournament(const StageGame& game, int n_players, int stages)
-    : game_(game), n_(n_players), stages_(stages) {
+namespace {
+
+/// Runs fn(k) for k in [0, count): inline when jobs == 1, otherwise on a
+/// pool of `jobs` workers. Results must go into per-index slots; callers
+/// reduce those in fixed order afterwards, which keeps scores
+/// bit-identical across jobs values.
+template <class Fn>
+void fan_out(std::size_t count, std::size_t jobs, Fn&& fn) {
+  if (jobs == 1 || count <= 1) {
+    for (std::size_t k = 0; k < count; ++k) fn(k);
+    return;
+  }
+  parallel::ThreadPool pool(jobs);
+  pool.for_each_index(count, std::forward<Fn>(fn));
+}
+
+}  // namespace
+
+Tournament::Tournament(const StageGame& game, int n_players, int stages,
+                       std::size_t jobs)
+    : game_(game), n_(n_players), stages_(stages), jobs_(jobs) {
   if (n_players < 2) throw std::invalid_argument("Tournament: n < 2");
   if (stages < 1) throw std::invalid_argument("Tournament: stages < 1");
+  if (jobs_ == 0) jobs_ = parallel::ThreadPool::default_jobs();
 }
 
 MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
@@ -58,28 +80,55 @@ std::vector<std::vector<bool>> Tournament::invasion_matrix(
     const std::vector<Contender>& roster, double tolerance) const {
   std::vector<std::vector<bool>> matrix(
       roster.size(), std::vector<bool>(roster.size(), true));
+  // Flatten the off-diagonal pairs so each can run as one pool task.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (std::size_t i = 0; i < roster.size(); ++i) {
     for (std::size_t j = 0; j < roster.size(); ++j) {
-      if (i == j) continue;
-      matrix[i][j] = resists_invasion(roster[i], roster[j], tolerance);
+      if (i != j) pairs.emplace_back(i, j);
     }
+  }
+  // std::vector<bool> is bit-packed, so concurrent writes to matrix[i][j]
+  // would race; stage into a byte vector instead.
+  std::vector<char> verdicts(pairs.size(), 0);
+  fan_out(pairs.size(), jobs_, [&](std::size_t k) {
+    const auto [i, j] = pairs[k];
+    verdicts[k] = resists_invasion(roster[i], roster[j], tolerance) ? 1 : 0;
+  });
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    matrix[pairs[k].first][pairs[k].second] = verdicts[k] != 0;
   }
   return matrix;
 }
 
 std::vector<double> Tournament::round_robin_scores(
     const std::vector<Contender>& roster) const {
-  std::vector<double> scores(roster.size(), 0.0);
-  std::vector<int> samples(roster.size(), 0);
+  // Every (i, j, count_a) mix is independent; fan them out, then reduce
+  // per roster member in enumeration order (fixed flop sequence ⇒ scores
+  // bit-identical for any jobs value).
+  struct Mix {
+    std::size_t i, j;
+    int count_a;
+  };
+  std::vector<Mix> mixes;
   for (std::size_t i = 0; i < roster.size(); ++i) {
     for (std::size_t j = 0; j < roster.size(); ++j) {
       if (i == j) continue;
       for (int count_a = 1; count_a < n_; ++count_a) {
-        const MixOutcome mix = play_mix(roster[i], roster[j], count_a);
-        scores[i] += mix.payoff_a;
-        ++samples[i];
+        mixes.push_back({i, j, count_a});
       }
     }
+  }
+  std::vector<double> payoff_a(mixes.size(), 0.0);
+  fan_out(mixes.size(), jobs_, [&](std::size_t k) {
+    payoff_a[k] =
+        play_mix(roster[mixes[k].i], roster[mixes[k].j], mixes[k].count_a)
+            .payoff_a;
+  });
+  std::vector<double> scores(roster.size(), 0.0);
+  std::vector<int> samples(roster.size(), 0);
+  for (std::size_t k = 0; k < mixes.size(); ++k) {
+    scores[mixes[k].i] += payoff_a[k];
+    ++samples[mixes[k].i];
   }
   for (std::size_t i = 0; i < scores.size(); ++i) {
     if (samples[i] > 0) scores[i] /= samples[i];

@@ -46,8 +46,13 @@ struct MixOutcome {
 class Tournament {
  public:
   /// `game` must outlive the tournament. `stages` is the repeated-game
-  /// horizon used for every match.
-  Tournament(const StageGame& game, int n_players, int stages);
+  /// horizon used for every match. `jobs` fans the independent mixes of
+  /// invasion_matrix / round_robin_scores across a thread pool (1 =
+  /// serial, 0 = parallel::ThreadPool::default_jobs()); every mix is a
+  /// deterministic self-contained repeated game and results are reduced
+  /// in a fixed order, so scores are bit-identical for any jobs value.
+  Tournament(const StageGame& game, int n_players, int stages,
+             std::size_t jobs = 1);
 
   /// Plays one mix: the first `count_a` players use A, the rest B.
   MixOutcome play_mix(const Contender& a, const Contender& b,
@@ -75,6 +80,7 @@ class Tournament {
   const StageGame& game_;
   int n_;
   int stages_;
+  std::size_t jobs_;
 };
 
 /// The paper's cast, ready to use: TFT, GTFT(β, r0), Constant(w),

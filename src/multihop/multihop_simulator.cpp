@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/replication.hpp"
+
 namespace smac::multihop {
 
 MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
@@ -201,6 +203,50 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
                            static_cast<double>(clear_attempts)
                      : 1.0;
   return result;
+}
+
+MultihopBatch run_replicated(const MultihopConfig& config,
+                             const Topology& topology,
+                             const std::vector<int>& cw_profile,
+                             std::uint64_t slots, std::size_t replications,
+                             std::size_t jobs) {
+  const parallel::ReplicationRunner runner(
+      {replications, config.seed, jobs});
+  MultihopBatch batch;
+  batch.runs = runner.run(
+      [&](std::uint64_t seed, std::size_t /*index*/) {
+        MultihopConfig replica = config;
+        replica.seed = seed;
+        MultihopSimulator simulator(replica, topology, cw_profile);
+        return simulator.run_slots(slots);
+      });
+
+  const std::vector<std::string> names{
+      "global payoff rate", "aggregate p_hn", "success fraction",
+      "hidden-loss fraction", "mean tau"};
+  std::vector<std::vector<double>> rows;
+  rows.reserve(batch.runs.size());
+  for (const MultihopResult& r : batch.runs) {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t hidden = 0;
+    double tau_sum = 0.0;
+    for (const MultihopNodeStats& s : r.node) {
+      attempts += s.attempts;
+      successes += s.successes;
+      hidden += s.hidden_losses;
+      tau_sum += s.measured_tau;
+    }
+    const double att = attempts ? static_cast<double>(attempts) : 1.0;
+    rows.push_back({r.global_payoff_rate, r.aggregate_p_hn,
+                    static_cast<double>(successes) / att,
+                    static_cast<double>(hidden) / att,
+                    r.node.empty()
+                        ? 0.0
+                        : tau_sum / static_cast<double>(r.node.size())});
+  }
+  batch.metrics = util::summarize_replications(names, rows);
+  return batch;
 }
 
 }  // namespace smac::multihop

@@ -27,6 +27,7 @@
 #include "phy/parameters.hpp"
 #include "sim/dcf_node.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace smac::multihop {
 
@@ -88,5 +89,26 @@ class MultihopSimulator {
   std::vector<sim::DcfNode> nodes_;
   util::Rng rng_;
 };
+
+/// A replicated Monte-Carlo batch of one multihop configuration.
+struct MultihopBatch {
+  /// Per-replication windows, in replication-index order (replication r
+  /// ran with seed parallel::stream_seed(config.seed, r)).
+  std::vector<MultihopResult> runs;
+  /// Across-replication aggregates: global payoff rate, aggregate p_hn,
+  /// success/hidden-loss fractions, mean tau.
+  std::vector<util::MetricSummary> metrics;
+};
+
+/// Runs `replications` independent copies of (config, topology,
+/// cw_profile) for `slots` slots each, fanned over `jobs` threads (1 =
+/// serial inline, 0 = ThreadPool::default_jobs()). config.seed is the
+/// base seed of the replication family; results are bit-identical for
+/// any `jobs` (see src/parallel/replication.hpp).
+MultihopBatch run_replicated(const MultihopConfig& config,
+                             const Topology& topology,
+                             const std::vector<int>& cw_profile,
+                             std::uint64_t slots, std::size_t replications,
+                             std::size_t jobs = 1);
 
 }  // namespace smac::multihop

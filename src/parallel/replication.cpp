@@ -1,0 +1,31 @@
+#include "parallel/replication.hpp"
+
+#include <stdexcept>
+
+namespace smac::parallel {
+
+std::uint64_t stream_seed(std::uint64_t base_seed,
+                          std::uint64_t index) noexcept {
+  // One SplitMix64 step over a golden-ratio-spread combination of base
+  // and index. The constant on `index` keeps adjacent replications far
+  // apart in the pre-mix domain; the finalizer's avalanche does the rest.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+util::Rng stream_rng(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  return util::Rng(stream_seed(base_seed, index));
+}
+
+ReplicationRunner::ReplicationRunner(ReplicationPlan plan)
+    : plan_(plan),
+      jobs_(plan.jobs == 0 ? ThreadPool::default_jobs() : plan.jobs) {
+  if (plan_.replications == 0) {
+    throw std::invalid_argument("ReplicationRunner: zero replications");
+  }
+  if (jobs_ > ThreadPool::kMaxThreads) jobs_ = ThreadPool::kMaxThreads;
+}
+
+}  // namespace smac::parallel

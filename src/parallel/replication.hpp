@@ -1,0 +1,123 @@
+// Parallel Monte-Carlo replication with deterministic per-stream seeding.
+//
+// Determinism contract (load-bearing; tests/parallel enforce it):
+//
+//   1. Replication r of an experiment with base seed B is seeded with
+//      stream_seed(B, r) — a SplitMix64 mix of (B, r). The seed depends
+//      only on (B, r), never on thread count, scheduling, or the order in
+//      which replications happen to start.
+//   2. Every replication owns all of its mutable state: its own
+//      simulator(s), its own util::Rng(s) constructed from its stream
+//      seed. No util::Rng — and no object holding one — may be shared
+//      across threads; Rng is deliberately unsynchronized, and a shared
+//      stream would make draw interleaving (hence results) depend on the
+//      scheduler.
+//   3. Results are stored in a slot indexed by the replication and
+//      reduced in index order 0..N−1. Aggregation (util::RunningStats and
+//      plain loops alike) is therefore a fixed sequence of floating-point
+//      operations.
+//
+// (1)+(2) make each replication's output a pure function of (B, r);
+// (3) makes the aggregate a pure function of the per-replication outputs.
+// Together: bit-identical results for jobs=1 and jobs=N, any N.
+//
+// SplitMix64 (rather than Rng::jump()) derives the streams because it is
+// O(1) random access — replication 999 does not require stepping through
+// the first 998 streams — and because feeding its output to Rng's own
+// SplitMix64 seed expansion yields well-separated xoshiro256** states
+// even for adjacent indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace smac::parallel {
+
+/// Seed of replication `index` in the family rooted at `base_seed`.
+/// Pure function of its arguments; distinct indices give statistically
+/// independent Rng streams (SplitMix64 is a bijective mix with good
+/// avalanche, and Rng re-expands the result through SplitMix64 again).
+std::uint64_t stream_seed(std::uint64_t base_seed,
+                          std::uint64_t index) noexcept;
+
+/// Convenience: an Rng already seeded for replication `index`.
+util::Rng stream_rng(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+/// How to fan a batch of replications across cores.
+struct ReplicationPlan {
+  std::size_t replications = 1;
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 1 runs inline on the caller, 0 means
+  /// ThreadPool::default_jobs() (SMAC_JOBS env or hardware concurrency).
+  std::size_t jobs = 1;
+};
+
+/// Summary of one replicated experiment whose replications each produce a
+/// row of named metrics.
+struct ReplicationSummary {
+  std::vector<std::string> metric_names;
+  /// rows[r][m]: metric m of replication r (index order).
+  std::vector<std::vector<double>> rows;
+  /// Across-replication mean / stddev / 95% CI / extrema per metric.
+  std::vector<util::MetricSummary> metrics;
+};
+
+/// Fans N independent replications of a callable experiment across a
+/// thread pool, honoring the determinism contract above.
+class ReplicationRunner {
+ public:
+  explicit ReplicationRunner(ReplicationPlan plan);
+
+  const ReplicationPlan& plan() const noexcept { return plan_; }
+  /// Resolved worker count (plan.jobs with 0 already expanded).
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(seed, index) for index in [0, replications) and returns the
+  /// results in index order regardless of scheduling. The result type
+  /// must be default-constructible. fn is invoked concurrently for
+  /// distinct indices when jobs() > 1; with jobs() == 1 everything runs
+  /// inline on the calling thread (no pool is created).
+  template <class Fn>
+  auto run(Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::uint64_t, std::size_t>;
+    std::vector<R> results(plan_.replications);
+    auto one = [&](std::size_t i) {
+      results[i] = fn(stream_seed(plan_.base_seed, i), i);
+    };
+    if (jobs_ == 1 || plan_.replications <= 1) {
+      for (std::size_t i = 0; i < plan_.replications; ++i) one(i);
+    } else {
+      ThreadPool pool(jobs_);
+      pool.for_each_index(plan_.replications, one);
+    }
+    return results;
+  }
+
+  /// Runs a metric-row experiment — fn(seed, index) returns one double
+  /// per entry of `metric_names` — and aggregates mean / stddev / 95% CI
+  /// per metric across replications (in index order, so the aggregate is
+  /// itself deterministic).
+  template <class Fn>
+  ReplicationSummary run_summarized(std::vector<std::string> metric_names,
+                                    Fn&& fn) const {
+    ReplicationSummary summary;
+    summary.rows = run(std::forward<Fn>(fn));
+    summary.metrics = util::summarize_replications(metric_names, summary.rows);
+    summary.metric_names = std::move(metric_names);
+    return summary;
+  }
+
+ private:
+  ReplicationPlan plan_;
+  std::size_t jobs_;
+};
+
+}  // namespace smac::parallel

@@ -1,0 +1,119 @@
+// Fixed-size thread pool for embarrassingly parallel experiment fan-out.
+//
+// The pool exists to run *independent* work items — Monte-Carlo
+// replications, tournament mixes, parameter-sweep points — never to
+// parallelize inside a simulator. Determinism contract: the pool makes no
+// ordering or placement guarantees, so any caller that wants reproducible
+// results must (a) make every submitted task self-contained (own Rng, own
+// simulator instance — no component may share a util::Rng across threads)
+// and (b) write each task's output into a slot indexed by the task, then
+// reduce in index order. parallel::ReplicationRunner packages exactly that
+// pattern.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace smac::parallel {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+///
+/// Tasks must not submit further work to the same pool and block on it
+/// (nested for_each_index deadlocks a fully busy pool); fan-out happens at
+/// one level, the experiment driver.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_jobs(). The count is
+  /// clamped to [1, kMaxThreads].
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Job count used when callers pass 0: the SMAC_JOBS environment
+  /// variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static std::size_t default_jobs();
+
+  /// Enqueues a nullary callable; the future carries its result or
+  /// exception.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices across the
+  /// workers, and blocks until all complete. Indices are claimed from a
+  /// shared counter, so assignment to threads is nondeterministic — fn must
+  /// be safe to call concurrently for distinct indices and should write
+  /// results into per-index slots. If any invocation throws, the first
+  /// exception (in worker-completion order) is rethrown after all workers
+  /// stop claiming new indices; some indices may then never run.
+  template <class Fn>
+  void for_each_index(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto failed = std::make_shared<std::atomic<bool>>(false);
+    const std::size_t lanes = std::min(size(), count);
+    std::vector<std::future<void>> lanes_done;
+    lanes_done.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      lanes_done.push_back(submit([next, failed, count, &fn] {
+        for (std::size_t i = next->fetch_add(1); i < count;
+             i = next->fetch_add(1)) {
+          if (failed->load(std::memory_order_relaxed)) return;
+          try {
+            fn(i);
+          } catch (...) {
+            failed->store(true, std::memory_order_relaxed);
+            throw;
+          }
+        }
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& done : lanes_done) {
+      try {
+        done.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  static constexpr std::size_t kMaxThreads = 256;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace smac::parallel

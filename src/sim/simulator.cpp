@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "parallel/replication.hpp"
+
 namespace smac::sim {
 
 struct Simulator::WindowAccumulator {
@@ -209,6 +211,41 @@ SimResult Simulator::run_slots(std::uint64_t n) {
     result.mean_backlog[i] = backlog_time_integral_[i] / acc.elapsed_us;
   }
   return result;
+}
+
+SimBatch run_replicated(const SimConfig& config,
+                        const std::vector<int>& cw_profile,
+                        std::uint64_t slots, std::size_t replications,
+                        std::size_t jobs) {
+  const parallel::ReplicationRunner runner(
+      {replications, config.seed, jobs});
+  SimBatch batch;
+  batch.runs = runner.run(
+      [&](std::uint64_t seed, std::size_t /*index*/) {
+        SimConfig replica = config;
+        replica.seed = seed;
+        Simulator simulator(replica, cw_profile);
+        return simulator.run_slots(slots);
+      });
+
+  const std::vector<std::string> names{
+      "throughput", "collision fraction", "idle fraction",
+      "mean payoff rate", "payoff fairness",  "mean tau",
+      "mean p"};
+  std::vector<std::vector<double>> rows;
+  rows.reserve(batch.runs.size());
+  for (const SimResult& r : batch.runs) {
+    const auto total = static_cast<double>(r.slots);
+    rows.push_back({r.throughput,
+                    static_cast<double>(r.collision_slots) / total,
+                    static_cast<double>(r.idle_slots) / total,
+                    util::mean_of(r.payoff_rate),
+                    util::jain_fairness(r.payoff_rate),
+                    util::mean_of(r.measured_tau),
+                    util::mean_of(r.measured_p)});
+  }
+  batch.metrics = util::summarize_replications(names, rows);
+  return batch;
 }
 
 }  // namespace smac::sim

@@ -17,6 +17,7 @@
 #include "phy/parameters.hpp"
 #include "sim/dcf_node.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace smac::sim {
 
@@ -112,5 +113,25 @@ class Simulator {
   util::Rng channel_rng_;  ///< PER / capture draws (untouched when both off)
   std::vector<std::size_t> ready_scratch_;
 };
+
+/// A replicated Monte-Carlo batch of one simulator configuration.
+struct SimBatch {
+  /// Per-replication windows, in replication-index order (replication r
+  /// ran with seed parallel::stream_seed(config.seed, r)).
+  std::vector<SimResult> runs;
+  /// Across-replication aggregates: throughput, collision/idle fractions,
+  /// mean payoff rate, Jain fairness of payoff, mean tau, mean p.
+  std::vector<util::MetricSummary> metrics;
+};
+
+/// Runs `replications` independent copies of (config, cw_profile) for
+/// `slots` slots each, fanned over `jobs` threads (1 = serial inline,
+/// 0 = ThreadPool::default_jobs()). config.seed acts as the base seed of
+/// the replication family; results are bit-identical for any `jobs`
+/// (see src/parallel/replication.hpp for the determinism contract).
+SimBatch run_replicated(const SimConfig& config,
+                        const std::vector<int>& cw_profile,
+                        std::uint64_t slots, std::size_t replications,
+                        std::size_t jobs = 1);
 
 }  // namespace smac::sim

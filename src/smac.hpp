@@ -21,6 +21,10 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+// parallel — thread pool + deterministic Monte-Carlo replication
+#include "parallel/replication.hpp"
+#include "parallel/thread_pool.hpp"
+
 // phy — parameters, timings, energy
 #include "phy/energy.hpp"
 #include "phy/parameters.hpp"

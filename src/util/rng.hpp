@@ -5,6 +5,19 @@
 // reproducible from its seed. The generator is xoshiro256** (Blackman &
 // Vigna), which is small, fast, and has no observable statistical defects
 // at the scales used here.
+//
+// Determinism contract (shared with src/parallel/replication.hpp):
+//
+//   * An Rng's output sequence is a pure function of its seed — no
+//     global state, no time, no thread identity enters anywhere.
+//   * Rng is deliberately UNSYNCHRONIZED. No component may share one
+//     Rng instance across threads: concurrent draws would interleave in
+//     scheduler order and destroy reproducibility (besides being a data
+//     race). Each thread of work owns its own Rng.
+//   * Parallel work derives independent streams either with split()/
+//     jump() (sequential derivation from one generator) or — preferred
+//     for replication fan-out — with parallel::stream_seed(base, index),
+//     which is O(1) random access and independent of derivation order.
 #pragma once
 
 #include <array>

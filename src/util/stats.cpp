@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/table.hpp"
+
 namespace smac::util {
 
 void RunningStats::add(double x) noexcept {
@@ -140,6 +142,44 @@ double jain_fairness(const std::vector<double>& xs) noexcept {
   }
   if (s2 == 0.0) return 1.0;
   return s * s / (static_cast<double>(xs.size()) * s2);
+}
+
+std::vector<MetricSummary> summarize_replications(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<RunningStats> acc(names.size());
+  for (const auto& row : rows) {
+    if (row.size() != names.size()) {
+      throw std::invalid_argument(
+          "summarize_replications: row width != metric count");
+    }
+    for (std::size_t m = 0; m < row.size(); ++m) acc[m].add(row[m]);
+  }
+  std::vector<MetricSummary> out(names.size());
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    out[m].name = names[m];
+    out[m].count = acc[m].count();
+    out[m].mean = acc[m].mean();
+    out[m].stddev = acc[m].stddev();
+    out[m].ci95 = acc[m].ci_halfwidth(1.96);
+    out[m].min = acc[m].empty() ? 0.0 : acc[m].min();
+    out[m].max = acc[m].empty() ? 0.0 : acc[m].max();
+  }
+  return out;
+}
+
+std::string format_metric_summaries(const std::vector<MetricSummary>& metrics,
+                                    int precision) {
+  TextTable table(
+      {"metric", "n", "mean", "stddev", "95% CI +/-", "min", "max"});
+  for (const auto& m : metrics) {
+    table.add_row({m.name, std::to_string(m.count),
+                   fmt_double(m.mean, precision),
+                   fmt_double(m.stddev, precision),
+                   fmt_double(m.ci95, precision), fmt_double(m.min, precision),
+                   fmt_double(m.max, precision)});
+  }
+  return table.to_string();
 }
 
 double mean_of(const std::vector<double>& xs) noexcept {

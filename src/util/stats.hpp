@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace smac::util {
@@ -79,6 +80,34 @@ double normal_cdf(double z) noexcept;
 /// (sum x)^2 / (n * sum x^2). 1 = perfectly fair, 1/n = maximally unfair.
 /// Returns 1.0 for empty or all-zero input (vacuously fair).
 double jain_fairness(const std::vector<double>& xs) noexcept;
+
+/// Across-replication aggregate of one named metric (parallel Monte-Carlo
+/// batches: one sample per replication).
+struct MetricSummary {
+  std::string name;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Column-wise aggregation of replication rows: rows[r][m] is metric m of
+/// replication r, named names[m]. Rows are consumed in index order, so for
+/// a fixed set of rows the output is bit-identical regardless of how the
+/// rows were produced (this is the aggregation half of the parallel
+/// determinism contract — see src/parallel/replication.hpp). Throws
+/// std::invalid_argument when a row's width differs from names.size().
+std::vector<MetricSummary> summarize_replications(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& rows);
+
+/// Renders summaries as a text table: metric, n, mean, stddev, 95% CI,
+/// min, max.
+std::string format_metric_summaries(const std::vector<MetricSummary>& metrics,
+                                    int precision = 4);
 
 /// Sample mean of a vector (0 for empty input).
 double mean_of(const std::vector<double>& xs) noexcept;
