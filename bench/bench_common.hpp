@@ -1,9 +1,11 @@
 // Shared helpers for the experiment harnesses.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "parallel/thread_pool.hpp"
 
@@ -42,6 +44,21 @@ inline std::size_t jobs_option(int argc, const char* const* argv) {
     }
   }
   return parallel::ThreadPool::default_jobs();
+}
+
+/// Fans fn(i) for i in [0, count) across `jobs` workers (inline when
+/// jobs <= 1 or there is at most one index). Each index must be a
+/// self-contained experiment with its own fixed seed writing into a
+/// per-index slot; callers reduce the slots in index order afterwards, so
+/// printed tables are byte-identical for any jobs value.
+template <class Fn>
+inline void sweep(std::size_t count, std::size_t jobs, Fn&& fn) {
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  parallel::ThreadPool pool(jobs);
+  pool.for_each_index(count, std::forward<Fn>(fn));
 }
 
 inline void print_jobs(std::size_t jobs) {

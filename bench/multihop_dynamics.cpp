@@ -21,21 +21,8 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-namespace {
 using namespace smac;
-
-// Runs fn(i) for each sweep index, inline at jobs = 1.
-template <class Fn>
-void sweep(std::size_t count, std::size_t jobs, Fn&& fn) {
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  parallel::ThreadPool pool(jobs);
-  pool.for_each_index(count, std::forward<Fn>(fn));
-}
-
-}  // namespace
+using smac::bench::sweep;
 
 int main(int argc, char** argv) {
   bench::print_header(

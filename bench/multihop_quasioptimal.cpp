@@ -71,11 +71,13 @@ MobileRun run_mobile(int w_common, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Multi-hop quasi-optimality under random-waypoint mobility",
       "paper §VII.B (W_m = 26; local payoff >= 96% of max; global within 3%)",
       "100 nodes, 1000x1000 m, range 250 m, v in [0,5] m/s, RTS/CTS.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kRtsCts);
@@ -108,14 +110,17 @@ int main() {
     if (grid.empty() || grid.back() != w) grid.push_back(w);
   }
 
-  std::vector<MobileRun> runs;
+  // Each grid point is a self-contained mobile run with a fixed seed;
+  // fan across --jobs and build the table in grid order afterwards.
+  std::vector<MobileRun> runs(grid.size());
+  bench::sweep(grid.size(), jobs, [&](std::size_t gi) {
+    runs[gi] = run_mobile(grid[gi], 1234);
+  });
   util::TextTable table({"W", "global payoff (1/us)", "p_hn"});
-  for (int w : grid) {
-    runs.push_back(run_mobile(w, 1234));
-    table.add_row({std::to_string(w),
-                   util::fmt_double(runs.back().global_payoff * 1e3, 4) +
-                       "e-3",
-                   util::fmt_double(runs.back().p_hn, 3)});
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    table.add_row({std::to_string(grid[gi]),
+                   util::fmt_double(runs[gi].global_payoff * 1e3, 4) + "e-3",
+                   util::fmt_double(runs[gi].p_hn, 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
 

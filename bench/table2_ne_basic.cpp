@@ -29,9 +29,12 @@ struct SimNe {
 };
 
 // Sweeps common windows around w_star; each node votes for the window
-// that maximized its own measured payoff rate.
+// that maximized its own measured payoff rate. Grid points are
+// independent fixed-seed simulations fanned across `jobs`; the vote
+// reduces per-point payoffs in grid order, so the result is identical at
+// any job count.
 SimNe simulated_ne(phy::AccessMode mode, int n, int w_star,
-                   std::uint64_t slots_per_point) {
+                   std::uint64_t slots_per_point, std::size_t jobs) {
   std::vector<int> grid;
   const int span = std::max(4, w_star / 8);
   const int step = std::max(1, span / 6);
@@ -39,20 +42,24 @@ SimNe simulated_ne(phy::AccessMode mode, int n, int w_star,
     grid.push_back(std::max(1, w));
   }
 
-  std::vector<double> best_payoff(static_cast<std::size_t>(n), -1e30);
-  std::vector<int> best_w(static_cast<std::size_t>(n), grid.front());
-  for (int w : grid) {
+  std::vector<std::vector<double>> payoff(grid.size());
+  bench::sweep(grid.size(), jobs, [&](std::size_t gi) {
+    const int w = grid[gi];
     sim::SimConfig config;
     config.mode = mode;
     config.seed = 0x51ab00 + static_cast<std::uint64_t>(w);
     sim::Simulator simulator(config, std::vector<int>(n, w));
-    const sim::SimResult r = simulator.run_slots(slots_per_point);
+    payoff[gi] = simulator.run_slots(slots_per_point).payoff_rate;
+  });
+
+  std::vector<double> best_payoff(static_cast<std::size_t>(n), -1e30);
+  std::vector<int> best_w(static_cast<std::size_t>(n), grid.front());
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     for (int i = 0; i < n; ++i) {
-      if (r.payoff_rate[static_cast<std::size_t>(i)] >
-          best_payoff[static_cast<std::size_t>(i)]) {
-        best_payoff[static_cast<std::size_t>(i)] =
-            r.payoff_rate[static_cast<std::size_t>(i)];
-        best_w[static_cast<std::size_t>(i)] = w;
+      const auto idx = static_cast<std::size_t>(i);
+      if (payoff[gi][idx] > best_payoff[idx]) {
+        best_payoff[idx] = payoff[gi][idx];
+        best_w[idx] = grid[gi];
       }
     }
   }
@@ -64,12 +71,14 @@ SimNe simulated_ne(phy::AccessMode mode, int n, int w_star,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Table II: Nash Equilibrium point — basic access",
       "paper Table II (paper: model 76/336/879, sim 75.6/337.4/880.5)",
       "Model W_c* = exact discrete argmax; W_cont = Lemma 3 Q-root;\n"
       "sim = per-node payoff-maximizing common CW in the slot simulator.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kBasic);
@@ -86,7 +95,7 @@ int main() {
     // samples to stay tight (the paper's 1000 s NS-2 runs did the same).
     const std::uint64_t slots = 200000 + 16000ULL * static_cast<std::uint64_t>(row.n);
     const SimNe sim_ne =
-        simulated_ne(phy::AccessMode::kBasic, row.n, w_star, slots);
+        simulated_ne(phy::AccessMode::kBasic, row.n, w_star, slots, jobs);
     table.add_row({std::to_string(row.n), std::to_string(row.paper),
                    std::to_string(w_star),
                    util::fmt_double(w_cont.value_or(-1.0), 1),

@@ -28,26 +28,33 @@ struct SimNe {
   double var_w = 0.0;
 };
 
-SimNe simulated_ne(int n, int w_center, std::uint64_t slots_per_point) {
+// Grid points fan across `jobs` (fixed seed per point, index-ordered
+// vote reduction ⇒ identical output at any job count).
+SimNe simulated_ne(int n, int w_center, std::uint64_t slots_per_point,
+                   std::size_t jobs) {
   std::vector<int> grid;
   const int span = std::max(4, w_center / 3);
   const int step = std::max(1, span / 6);
   for (int w = std::max(1, w_center - span); w <= w_center + span; w += step) {
     grid.push_back(w);
   }
-  std::vector<double> best_payoff(static_cast<std::size_t>(n), -1e30);
-  std::vector<int> best_w(static_cast<std::size_t>(n), grid.front());
-  for (int w : grid) {
+  std::vector<std::vector<double>> payoff(grid.size());
+  bench::sweep(grid.size(), jobs, [&](std::size_t gi) {
+    const int w = grid[gi];
     sim::SimConfig config;
     config.mode = phy::AccessMode::kRtsCts;
     config.seed = 0x7ab1e3 + static_cast<std::uint64_t>(w);
     sim::Simulator simulator(config, std::vector<int>(n, w));
-    const sim::SimResult r = simulator.run_slots(slots_per_point);
+    payoff[gi] = simulator.run_slots(slots_per_point).payoff_rate;
+  });
+  std::vector<double> best_payoff(static_cast<std::size_t>(n), -1e30);
+  std::vector<int> best_w(static_cast<std::size_t>(n), grid.front());
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     for (int i = 0; i < n; ++i) {
       const auto idx = static_cast<std::size_t>(i);
-      if (r.payoff_rate[idx] > best_payoff[idx]) {
-        best_payoff[idx] = r.payoff_rate[idx];
-        best_w[idx] = w;
+      if (payoff[gi][idx] > best_payoff[idx]) {
+        best_payoff[idx] = payoff[gi][idx];
+        best_w[idx] = grid[gi];
       }
     }
   }
@@ -57,12 +64,14 @@ SimNe simulated_ne(int n, int w_center, std::uint64_t slots_per_point) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Table III: Nash Equilibrium point — RTS/CTS access",
       "paper Table III (paper: model 22/48/116, sim 22.9/46.4/114.2)",
       "Q-root = paper's method (T_s ≈ T_c approx); exact = full-utility\n"
       "argmax; sim = per-node payoff-maximizing common CW.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kRtsCts);
@@ -78,7 +87,7 @@ int main() {
     const double u_exact = game.homogeneous_utility_rate(w_exact, row.n);
     const double u_qroot = game.homogeneous_utility_rate(
         std::max(1, static_cast<int>(w_qroot.value_or(1.0) + 0.5)), row.n);
-    const SimNe sim_ne = simulated_ne(row.n, w_exact, 250000);
+    const SimNe sim_ne = simulated_ne(row.n, w_exact, 250000, jobs);
     table.add_row({std::to_string(row.n), std::to_string(row.paper),
                    util::fmt_double(w_qroot.value_or(-1.0), 1),
                    std::to_string(w_exact),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "analytical/backoff_chain.hpp"
@@ -31,21 +32,13 @@ std::vector<double> collision_probabilities(const std::vector<double>& tau) {
   return p;
 }
 
-}  // namespace
-
-NetworkState solve_network(const std::vector<int>& w, int max_stage,
-                           const SolverOptions& opts,
-                           double packet_error_rate) {
-  if (w.empty()) throw std::invalid_argument("solve_network: empty profile");
-  for (int wi : w) {
-    if (wi < 1) throw std::invalid_argument("solve_network: window < 1");
-  }
-  if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
-    throw std::invalid_argument("solve_network: PER outside [0,1)");
-  }
+/// One damped-iteration rung of the ladder for profile `w` starting from
+/// `tau0`; returns the raw fixed-point result.
+util::FixedPointResult damped_rung(const std::vector<int>& w, int max_stage,
+                                   double per, std::vector<double> tau0,
+                                   double damping, double tolerance,
+                                   int max_iterations) {
   const std::size_t n = w.size();
-  const double per = packet_error_rate;
-
   // Fixed point over τ alone; p is recomputed from τ inside the map. The
   // chain escalates on collisions *or* channel corruption.
   auto F = [&](const std::vector<double>& tau) {
@@ -57,25 +50,195 @@ NetworkState solve_network(const std::vector<int>& w, int max_stage,
     }
     return next;
   };
-
-  std::vector<double> tau0(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tau0[i] = transmission_probability(w[i], 0.0, max_stage);
-  }
-
   util::FixedPointOptions fp;
-  fp.damping = opts.damping;
-  fp.tolerance = opts.tolerance;
-  fp.max_iterations = opts.max_iterations;
-  util::FixedPointResult r = util::solve_fixed_point(F, std::move(tau0), fp);
+  fp.damping = damping;
+  fp.tolerance = tolerance;
+  fp.max_iterations = max_iterations;
+  return util::solve_fixed_point(F, std::move(tau0), fp);
+}
 
+/// Clamps every entry into [0, 1] and replaces non-finite values by 0, so
+/// a failed solve can never leak NaN/Inf into utilities downstream.
+void sanitize(std::vector<double>& xs) {
+  for (double& x : xs) {
+    if (!std::isfinite(x)) x = 0.0;
+    x = std::clamp(x, 0.0, 1.0);
+  }
+}
+
+NetworkState state_from(util::FixedPointResult r) {
   NetworkState state;
   state.tau = std::move(r.x);
+  sanitize(state.tau);
   state.p = collision_probabilities(state.tau);
   state.converged = r.converged;
   state.iterations = r.iterations;
   state.residual = r.residual;
   return state;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kDegraded: return "degraded";
+    case SolveStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+TrySolveResult try_solve_network(const std::vector<int>& w, int max_stage,
+                                 const SolverOptions& opts,
+                                 double packet_error_rate) {
+  TrySolveResult out;
+  const bool windows_valid =
+      std::all_of(w.begin(), w.end(), [](int wi) { return wi >= 1; });
+  if (w.empty() || !windows_valid || max_stage < 0 ||
+      packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
+    out.diagnostics.status = SolveStatus::kFailed;
+    out.diagnostics.method = "invalid";
+    return out;
+  }
+  const double per = packet_error_rate;
+
+  std::vector<double> cold(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    cold[i] = transmission_probability(w[i], 0.0, max_stage);
+  }
+  std::vector<double> hot(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    hot[i] = transmission_probability(w[i], 0.9, max_stage);
+  }
+
+  // Retry ladder: the base attempt, then escalated damping on the same
+  // start, then a heavily damped restart from a high-collision point.
+  struct Rung {
+    const char* method;
+    const std::vector<double>* start;
+    double damping;
+    int iteration_scale;
+  };
+  const Rung ladder[] = {
+      {"damped", &cold, opts.damping, 1},
+      {"redamped", &cold, std::max(opts.damping, 0.85), 2},
+      {"restart", &hot, std::max(opts.damping, 0.95), 2},
+  };
+
+  NetworkState best;
+  best.residual = std::numeric_limits<double>::infinity();
+  const char* best_method = "damped";
+  int total_iterations = 0;
+  int retries = 0;
+  for (const Rung& rung : ladder) {
+    util::FixedPointResult r =
+        damped_rung(w, max_stage, per, *rung.start, rung.damping,
+                    opts.tolerance, opts.max_iterations * rung.iteration_scale);
+    total_iterations += r.iterations;
+    NetworkState state = state_from(std::move(r));
+    if (state.converged || state.residual < best.residual) {
+      best = std::move(state);
+      best_method = rung.method;
+    }
+    if (best.converged) break;
+    ++retries;
+  }
+
+  // Last rung: a homogeneous profile has an exact scalar fallback.
+  if (!best.converged &&
+      std::all_of(w.begin(), w.end(), [&](int wi) { return wi == w[0]; })) {
+    const TryTauResult tau = try_homogeneous_tau(
+        static_cast<double>(w[0]), static_cast<int>(w.size()), max_stage, per);
+    total_iterations += tau.diagnostics.iterations;
+    if (usable(tau.diagnostics.status)) {
+      best.tau.assign(w.size(), tau.tau);
+      best.p = collision_probabilities(best.tau);
+      best.converged = tau.diagnostics.status == SolveStatus::kConverged;
+      best.residual = tau.diagnostics.residual;
+      best_method = "bisection";
+    }
+  }
+
+  out.diagnostics.iterations = total_iterations;
+  out.diagnostics.retries = retries;
+  out.diagnostics.residual = best.residual;
+  out.diagnostics.method = best_method;
+  out.diagnostics.status = best.converged              ? SolveStatus::kConverged
+                           : best.residual <= kDegradedResidual
+                               ? SolveStatus::kDegraded
+                               : SolveStatus::kFailed;
+  best.converged = out.diagnostics.status == SolveStatus::kConverged;
+  out.state = std::move(best);
+  return out;
+}
+
+NetworkState solve_network(const std::vector<int>& w, int max_stage,
+                           const SolverOptions& opts,
+                           double packet_error_rate) {
+  if (w.empty()) throw std::invalid_argument("solve_network: empty profile");
+  for (int wi : w) {
+    if (wi < 1) throw std::invalid_argument("solve_network: window < 1");
+  }
+  if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
+    throw std::invalid_argument("solve_network: PER outside [0,1)");
+  }
+  return try_solve_network(w, max_stage, opts, packet_error_rate).state;
+}
+
+TryTauResult try_homogeneous_tau(double w, int n, int max_stage,
+                                 double packet_error_rate) {
+  TryTauResult out;
+  if (n < 1 || !(w >= 1.0) || max_stage < 0 || packet_error_rate < 0.0 ||
+      packet_error_rate >= 1.0) {
+    out.diagnostics.status = SolveStatus::kFailed;
+    out.diagnostics.method = "invalid";
+    return out;
+  }
+  const double per = packet_error_rate;
+  if (n == 1) {
+    out.tau = transmission_probability_cont(w, per, max_stage);
+    out.diagnostics.method = "closed-form";
+    return out;
+  }
+
+  // Root of h(τ) = τ − τ(W, fail(τ)); h(0) < 0, h(1) >= 0.
+  auto h = [&](double tau) {
+    const double p = 1.0 - std::pow(1.0 - tau, n - 1);
+    const double fail = 1.0 - (1.0 - p) * (1.0 - per);
+    return tau - transmission_probability_cont(w, fail, max_stage);
+  };
+  if (h(1.0) == 0.0) {  // degenerate W = 1, m = 0 case
+    out.tau = 1.0;
+    out.diagnostics.method = "closed-form";
+    return out;
+  }
+  const auto root = util::brent(h, 0.0, 1.0, {1e-15, 1e-15, 300});
+  if (root && root->converged) {
+    out.tau = root->x;
+    out.diagnostics.iterations = root->iterations;
+    out.diagnostics.residual = std::abs(root->fx);
+    out.diagnostics.method = "brent";
+    return out;
+  }
+  // Fallback rung: bisection cannot be fooled by the interpolation steps
+  // and the bracket [0, 1] always holds a sign change.
+  out.diagnostics.retries = 1;
+  if (root) out.diagnostics.iterations = root->iterations;
+  const auto bis = util::bisect(h, 0.0, 1.0, {1e-15, 1e-15, 300});
+  if (bis) {
+    out.tau = std::clamp(bis->x, 0.0, 1.0);
+    out.diagnostics.iterations += bis->iterations;
+    out.diagnostics.residual = std::abs(bis->fx);
+    out.diagnostics.method = "bisection";
+    out.diagnostics.status = bis->converged ? SolveStatus::kConverged
+                             : out.diagnostics.residual <= kDegradedResidual
+                                 ? SolveStatus::kDegraded
+                                 : SolveStatus::kFailed;
+    return out;
+  }
+  out.diagnostics.status = SolveStatus::kFailed;
+  out.diagnostics.method = "bisection";
+  return out;
 }
 
 double homogeneous_tau(double w, int n, int max_stage,
@@ -85,21 +248,12 @@ double homogeneous_tau(double w, int n, int max_stage,
   if (packet_error_rate < 0.0 || packet_error_rate >= 1.0) {
     throw std::invalid_argument("homogeneous_tau: PER outside [0,1)");
   }
-  const double per = packet_error_rate;
-  if (n == 1) return transmission_probability_cont(w, per, max_stage);
-
-  // Root of h(τ) = τ − τ(W, fail(τ)); h(0) < 0, h(1) >= 0.
-  auto h = [&](double tau) {
-    const double p = 1.0 - std::pow(1.0 - tau, n - 1);
-    const double fail = 1.0 - (1.0 - p) * (1.0 - per);
-    return tau - transmission_probability_cont(w, fail, max_stage);
-  };
-  if (h(1.0) == 0.0) return 1.0;  // degenerate W = 1, m = 0 case
-  const auto root = util::brent(h, 0.0, 1.0, {1e-15, 1e-15, 300});
-  if (!root || !root->converged) {
+  const TryTauResult r = try_homogeneous_tau(w, n, max_stage,
+                                             packet_error_rate);
+  if (r.diagnostics.status == SolveStatus::kFailed) {
     throw std::runtime_error("homogeneous_tau: root finding failed");
   }
-  return root->x;
+  return r.tau;
 }
 
 NetworkState solve_network_homogeneous(double w, int n, int max_stage,
@@ -126,8 +280,11 @@ double window_for_tau(double tau_target, int n, int max_stage) {
   double hi = 2.0;
   while (homogeneous_tau(hi, n, max_stage) > tau_target) {
     hi *= 2.0;
-    if (hi > 1e9) {
-      throw std::runtime_error("window_for_tau: no window reaches target tau");
+    if (hi > kWindowForTauCap) {
+      // No window up to the cap reaches a τ this small: return the
+      // documented clamp instead of aborting the caller's sweep — the cap
+      // window is the closest achievable approximation from below.
+      return kWindowForTauCap;
     }
   }
   auto f = [&](double w) { return homogeneous_tau(w, n, max_stage) - tau_target; };

@@ -29,10 +29,72 @@ struct SolverOptions {
   int max_iterations = 20000;
 };
 
+/// Outcome classification of the non-throwing solver entry points.
+///
+///   kConverged — residual below tolerance; the state is the fixed point.
+///   kDegraded  — the retry ladder exhausted its rungs but the best
+///                iterate's residual is small (≤ kDegradedResidual); the
+///                state is usable as an approximation and callers should
+///                carry the diagnostics forward (DegradationReport).
+///   kFailed    — no rung produced a usable iterate (or the inputs were
+///                invalid); the state holds the best effort, clamped to
+///                [0, 1], and must not be trusted.
+enum class SolveStatus { kConverged, kDegraded, kFailed };
+
+/// Residual threshold separating kDegraded from kFailed.
+inline constexpr double kDegradedResidual = 1e-6;
+
+/// What the retry ladder did to produce a result.
+struct SolveDiagnostics {
+  SolveStatus status = SolveStatus::kConverged;
+  int iterations = 0;      ///< total across every ladder rung attempted
+  int retries = 0;         ///< rungs attempted beyond the first
+  double residual = 0.0;   ///< residual of the returned state
+  /// Rung that produced the returned state: "damped", "redamped",
+  /// "restart", "bisection", or "invalid" (bad inputs).
+  const char* method = "damped";
+};
+
+constexpr bool usable(SolveStatus s) noexcept {
+  return s != SolveStatus::kFailed;
+}
+
+const char* to_string(SolveStatus status) noexcept;
+
+struct TrySolveResult {
+  NetworkState state;
+  SolveDiagnostics diagnostics;
+};
+
+struct TryTauResult {
+  double tau = 0.0;
+  SolveDiagnostics diagnostics;
+};
+
+/// Non-throwing heterogeneous solve with a retry ladder. Never throws and
+/// never returns non-finite values: on non-convergence it escalates —
+/// stronger damping, restart from a high-collision initial point, and (for
+/// homogeneous profiles) a bisection fallback — and reports how far it got
+/// in the diagnostics. Invalid inputs (empty profile, w < 1, PER outside
+/// [0, 1)) yield kFailed with an empty state instead of throwing.
+/// Sweeps and repeated games should prefer this entry point; the throwing
+/// solve_network below delegates here.
+TrySolveResult try_solve_network(const std::vector<int>& w, int max_stage,
+                                 const SolverOptions& opts = {},
+                                 double packet_error_rate = 0.0);
+
+/// Non-throwing homogeneous τ: Brent first, plain bisection as the
+/// fallback rung (the bracket [0, 1] always holds a sign change). Invalid
+/// inputs yield kFailed with τ = 0.
+TryTauResult try_homogeneous_tau(double w, int n, int max_stage,
+                                 double packet_error_rate = 0.0);
+
 /// Solves the heterogeneous system for contention-window profile `w`
 /// (one entry per node, each >= 1) with maximum backoff stage `max_stage`.
 /// For n = 1 the collision probability is identically zero.
-/// Throws std::invalid_argument on empty or invalid profiles.
+/// Throws std::invalid_argument on empty or invalid profiles; otherwise
+/// delegates to try_solve_network (same retry ladder, NetworkState::
+/// converged reflects SolveStatus::kConverged).
 /// `packet_error_rate` adds channel-noise losses: the backoff chain
 /// escalates on failure probability 1 − (1 − p_i)(1 − PER), while the
 /// returned NetworkState::p stays the *collision* probability (channel
@@ -48,13 +110,20 @@ NetworkState solve_network_homogeneous(double w, int n, int max_stage,
                                        double packet_error_rate = 0.0);
 
 /// τ of the homogeneous fixed point only (cheap; used inside sweeps).
+/// Throws std::invalid_argument on bad inputs and std::runtime_error when
+/// even the try_homogeneous_tau ladder reports kFailed.
 double homogeneous_tau(double w, int n, int max_stage,
                        double packet_error_rate = 0.0);
 
 /// Inverts the homogeneous model: the (continuous) window w such that the
 /// n-node fixed point transmits with probability `tau_target`. Monotone
 /// bisection over w ∈ [1, w_hi]; expands w_hi as needed. Returns w clamped
-/// to >= 1 when even w = 1 yields τ < tau_target.
+/// to >= 1 when even w = 1 yields τ < tau_target, and clamped to the
+/// expansion cap kWindowForTauCap when no window up to the cap reaches a
+/// τ as small as `tau_target` (instead of aborting a sweep mid-run).
 double window_for_tau(double tau_target, int n, int max_stage);
+
+/// Upper clamp of window_for_tau's bracket expansion.
+inline constexpr double kWindowForTauCap = 1e9;
 
 }  // namespace smac::analytical

@@ -1,0 +1,54 @@
+#include "analytical/solver_cache.hpp"
+
+namespace smac::analytical {
+
+NetworkSolveCache::NetworkSolveCache(SolverOptions opts,
+                                     std::size_t max_entries)
+    : opts_(opts), max_entries_(max_entries) {}
+
+TrySolveResult NetworkSolveCache::solve(const std::vector<int>& w,
+                                        int max_stage,
+                                        double packet_error_rate) const {
+  Key key{w, max_stage, packet_error_rate};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Solve outside the lock: concurrent misses on the same key may both
+  // compute, but the solver is deterministic so they agree.
+  TrySolveResult result =
+      try_solve_network(w, max_stage, opts_, packet_error_rate);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_.size() < max_entries_) {
+    cache_.emplace(std::move(key), result);
+  }
+  return result;
+}
+
+std::size_t NetworkSolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::uint64_t NetworkSolveCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t NetworkSolveCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void NetworkSolveCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace smac::analytical

@@ -1,0 +1,56 @@
+// Thread-safe memoization of heterogeneous fixed-point solves.
+//
+// Equilibrium sweeps, repeated games, and tournaments revisit the same
+// contention-window profiles thousands of times (TFT trajectories spend
+// most stages on one of a handful of profiles). solve_network resolves
+// each call from scratch; this cache keys the full TrySolveResult on
+// (profile, max_stage, PER) — the generalization of the mutex-guarded
+// homogeneous memo in game::StageGame — so concurrent tournament workers
+// and repeated-game engines share solutions safely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "analytical/fixed_point_solver.hpp"
+
+namespace smac::analytical {
+
+/// Mutex-guarded memo over try_solve_network.
+///
+/// SolverOptions are fixed per cache instance (set at construction) and
+/// deliberately excluded from the key: one cache serves one model
+/// configuration, which is how StageGame uses it. Insertion stops at
+/// `max_entries` (lookups still hit), bounding memory on adversarial
+/// profile streams; the solver is deterministic, so a concurrent miss on
+/// the same key recomputes the identical value.
+class NetworkSolveCache {
+ public:
+  explicit NetworkSolveCache(SolverOptions opts = {},
+                             std::size_t max_entries = 1 << 16);
+
+  /// Cached equivalent of try_solve_network(w, max_stage, opts, per).
+  TrySolveResult solve(const std::vector<int>& w, int max_stage,
+                       double packet_error_rate) const;
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+ private:
+  using Key = std::tuple<std::vector<int>, int, double>;
+
+  SolverOptions opts_;
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  mutable std::map<Key, TrySolveResult> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace smac::analytical

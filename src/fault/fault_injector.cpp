@@ -1,0 +1,111 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/replication.hpp"
+
+namespace smac::fault {
+
+namespace {
+
+// Sub-stream indices of the injector's seed family. Distinct constants
+// keep churn, channel, and observation draws on independent streams, so
+// enabling one concern never perturbs another's trajectory.
+constexpr std::uint64_t kChurnStream = 0xc1;
+constexpr std::uint64_t kChannelStream = 0xc2;
+constexpr std::uint64_t kObservationStream = 0xc3;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t node_count,
+                             std::uint64_t seed)
+    : plan_(std::move(plan)),
+      online_(node_count, 1),
+      churn_rng_(parallel::stream_rng(seed, kChurnStream)),
+      obs_rng_(parallel::stream_rng(seed, kObservationStream)),
+      channel_(plan_.channel, parallel::stream_rng(seed, kChannelStream)) {
+  if (node_count == 0) {
+    throw std::invalid_argument("FaultInjector: node_count == 0");
+  }
+  plan_.validate();
+  for (const StageEvent& e : plan_.scripted) {
+    if (e.node >= node_count) {
+      throw std::invalid_argument("FaultInjector: scripted event node index");
+    }
+  }
+  // Scripted events apply in (stage, declaration) order; stable sort keeps
+  // same-stage events in the order the plan listed them.
+  std::stable_sort(plan_.scripted.begin(), plan_.scripted.end(),
+                   [](const StageEvent& a, const StageEvent& b) {
+                     return a.stage < b.stage;
+                   });
+}
+
+std::size_t FaultInjector::online_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(online_.begin(), online_.end(), std::uint8_t{1}));
+}
+
+void FaultInjector::set_online(std::size_t node, bool up) {
+  if ((online_[node] != 0) == up) return;
+  online_[node] = up ? 1 : 0;
+  if (up) {
+    ++join_events_;
+  } else {
+    ++crash_events_;
+  }
+  last_fault_stage_ = stage_;
+}
+
+void FaultInjector::begin_stage(int stage) {
+  if (stage <= stage_) {
+    throw std::invalid_argument("FaultInjector: stages must advance");
+  }
+  // Advance every skipped stage too, so an engine that samples stages
+  // sparsely still sees the same trajectory as one visiting each stage.
+  while (stage_ < stage) {
+    ++stage_;
+    for (const StageEvent& e : plan_.scripted) {
+      if (e.stage != stage_) continue;
+      set_online(e.node, e.kind == FaultKind::kJoin);
+    }
+    if (plan_.churn.enabled() || plan_.churn.recover_rate > 0.0) {
+      for (std::size_t i = 0; i < online_.size(); ++i) {
+        if (online_[i] != 0) {
+          if (churn_rng_.bernoulli(plan_.churn.crash_rate)) {
+            set_online(i, false);
+          }
+        } else if (churn_rng_.bernoulli(plan_.churn.recover_rate)) {
+          set_online(i, true);
+        }
+      }
+    }
+    channel_.step();
+  }
+}
+
+Observation FaultInjector::observe_cw(int true_cw, int fallback_cw) {
+  Observation obs;
+  obs.cw = true_cw;
+  if (!plan_.observation.enabled()) return obs;
+  if (plan_.observation.loss_probability > 0.0 &&
+      obs_rng_.bernoulli(plan_.observation.loss_probability)) {
+    ++lost_observations_;
+    obs.cw = std::max(1, fallback_cw);
+    obs.lost = true;
+    return obs;
+  }
+  if (plan_.observation.noise_probability > 0.0 &&
+      obs_rng_.bernoulli(plan_.observation.noise_probability)) {
+    const int magnitude = plan_.observation.noise_magnitude;
+    const int delta = static_cast<int>(
+        obs_rng_.uniform_int(-magnitude, magnitude));
+    obs.cw = std::max(1, true_cw + delta);
+    obs.noisy = obs.cw != true_cw;
+    if (obs.noisy) ++noisy_observations_;
+  }
+  return obs;
+}
+
+}  // namespace smac::fault

@@ -1,0 +1,126 @@
+// Deterministic execution of a FaultPlan against a stage-driven engine.
+//
+// A FaultInjector owns the mutable fault state of ONE run: which nodes
+// are online, which channel state the Gilbert–Elliott chain is in, and
+// the RNG streams that drive stochastic events. Engines call
+// begin_stage(k) once per stage (in order) and then query the injector;
+// strategies' views of opponents pass through observe_cw().
+//
+// Determinism contract (the same one as src/parallel/replication.hpp):
+// every stochastic concern draws from its own util::Rng derived via
+// parallel::stream_seed(seed, concern-index), so the full fault
+// trajectory is a pure function of (plan, node_count, seed) — never of
+// thread count or scheduling. Replicated fault experiments construct one
+// injector per replication from that replication's stream seed and stay
+// bit-identical at any --jobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace smac::fault {
+
+/// The two-state bursty-loss chain, advanced one step at a time.
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(GilbertElliottConfig config, util::Rng rng) noexcept
+      : config_(config), rng_(rng) {}
+
+  /// Advances one step (stage or slot). No-op when the config is disabled.
+  void step() noexcept {
+    if (!config_.enabled()) return;
+    if (bad_) {
+      if (rng_.bernoulli(config_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng_.bernoulli(config_.p_good_to_bad)) bad_ = true;
+    }
+  }
+
+  bool bad() const noexcept { return bad_; }
+
+  /// PER_eff for the current state layered on `base_per`.
+  double effective_per(double base_per) const noexcept {
+    if (!bad_) return base_per;
+    return 1.0 - (1.0 - base_per) * (1.0 - config_.per_bad);
+  }
+
+ private:
+  GilbertElliottConfig config_;
+  util::Rng rng_;
+  bool bad_ = false;
+};
+
+/// One observation as seen through the fault model.
+struct Observation {
+  int cw = 1;
+  bool lost = false;
+  bool noisy = false;
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan (throws std::invalid_argument on bad rates or a
+  /// scripted event naming a node >= node_count).
+  FaultInjector(FaultPlan plan, std::size_t node_count, std::uint64_t seed);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::size_t node_count() const noexcept { return online_.size(); }
+
+  /// Advances fault state into stage `stage`: applies scripted events,
+  /// draws churn crashes/recoveries (node-index order, so the draw
+  /// sequence is fixed), and steps the channel chain. Stages must be
+  /// visited in increasing order starting at 0; rewinding throws.
+  void begin_stage(int stage);
+
+  int stage() const noexcept { return stage_; }
+  bool online(std::size_t node) const { return online_.at(node) != 0; }
+  const std::vector<std::uint8_t>& online_mask() const noexcept {
+    return online_;
+  }
+  std::size_t online_count() const noexcept;
+
+  bool channel_bad() const noexcept { return channel_.bad(); }
+  /// This stage's effective PER layered on the engine's base PER.
+  double effective_per(double base_per) const noexcept {
+    return channel_.effective_per(base_per);
+  }
+
+  /// Passes one contention-window observation through the loss/noise
+  /// model. `fallback_cw` is the observer's previous belief, used when
+  /// the observation is lost. Draw order is the caller's loop order;
+  /// single-threaded engines therefore stay deterministic.
+  Observation observe_cw(int true_cw, int fallback_cw);
+
+  // Cumulative event counters (since construction).
+  int crash_events() const noexcept { return crash_events_; }
+  int join_events() const noexcept { return join_events_; }
+  std::uint64_t lost_observations() const noexcept {
+    return lost_observations_;
+  }
+  std::uint64_t noisy_observations() const noexcept {
+    return noisy_observations_;
+  }
+  /// Stage of the most recent topology fault (crash/join), −1 if none.
+  int last_fault_stage() const noexcept { return last_fault_stage_; }
+
+ private:
+  void set_online(std::size_t node, bool up);
+
+  FaultPlan plan_;
+  std::vector<std::uint8_t> online_;
+  util::Rng churn_rng_;
+  util::Rng obs_rng_;
+  GilbertElliottChannel channel_;
+  int stage_ = -1;
+  int crash_events_ = 0;
+  int join_events_ = 0;
+  std::uint64_t lost_observations_ = 0;
+  std::uint64_t noisy_observations_ = 0;
+  int last_fault_stage_ = -1;
+};
+
+}  // namespace smac::fault

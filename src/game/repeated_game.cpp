@@ -18,33 +18,129 @@ RepeatedGameEngine::RepeatedGameEngine(
 }
 
 RepeatedGameResult RepeatedGameEngine::play(int stages) {
+  return play(stages, nullptr);
+}
+
+RepeatedGameResult RepeatedGameEngine::play(int stages,
+                                            fault::FaultInjector* injector) {
   if (stages < 1) throw std::invalid_argument("play: stages < 1");
   const std::size_t n = strategies_.size();
+  if (injector && injector->node_count() != n) {
+    throw std::invalid_argument(
+        "play: injector node_count != player_count");
+  }
   const double delta = game_.params().discount;
+  // Per-player observed histories only matter when observations can be
+  // perturbed; otherwise every player reads the true trajectory.
+  const bool per_view = injector && injector->plan().observation.enabled();
 
   RepeatedGameResult result;
   result.history.reserve(static_cast<std::size_t>(stages));
   result.discounted_utility.assign(n, 0.0);
   result.total_utility.assign(n, 0.0);
 
+  std::vector<History> observed(per_view ? n : 0);
+  std::vector<int> current_cw(n, 1);
+  std::vector<double> last_good;  // per-player payoffs of last usable solve
+
   double discount_k = 1.0;
   for (int k = 0; k < stages; ++k) {
+    if (injector) injector->begin_stage(k);
+
     StageRecord record;
     record.cw.resize(n);
+    if (injector) record.online = injector->online_mask();
     for (std::size_t i = 0; i < n; ++i) {
-      record.cw[i] = k == 0 ? strategies_[i]->initial_cw()
-                            : strategies_[i]->decide(result.history, i);
-      if (record.cw[i] < 1) {
+      if (k == 0) {
+        current_cw[i] = strategies_[i]->initial_cw();
+      } else if (player_online(record, i)) {
+        const History& view = per_view ? observed[i] : result.history;
+        current_cw[i] = strategies_[i]->decide(view, i);
+      }  // a crashed player keeps its configured window
+      if (current_cw[i] < 1) {
         throw std::runtime_error("RepeatedGameEngine: strategy returned w < 1");
       }
+      record.cw[i] = current_cw[i];
     }
-    record.utility = game_.stage_utilities(record.cw);
+
+    if (!injector) {
+      record.utility = game_.stage_utilities(record.cw);
+    } else {
+      // Solve the stage over the online sub-network at the effective PER.
+      std::vector<int> sub;
+      std::vector<std::size_t> sub_index;
+      sub.reserve(n);
+      sub_index.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (player_online(record, i)) {
+          sub.push_back(record.cw[i]);
+          sub_index.push_back(i);
+        }
+      }
+      record.utility.assign(n, 0.0);
+      if (!sub.empty()) {
+        const double per =
+            injector->effective_per(game_.params().packet_error_rate);
+        const StageGame::StagePayoffs payoffs =
+            game_.try_stage_utilities(sub, per);
+        const analytical::SolveDiagnostics& d = payoffs.diagnostics;
+        if (analytical::usable(d.status)) {
+          for (std::size_t s = 0; s < sub_index.size(); ++s) {
+            record.utility[sub_index[s]] = payoffs.utilities[s];
+          }
+          last_good = record.utility;
+          if (d.status == analytical::SolveStatus::kDegraded) {
+            ++result.degradation.degraded_stages;
+            result.degradation.incidents.push_back(
+                {k, d.status, d.residual, d.retries, false});
+          }
+        } else {
+          // Graceful degradation: keep the trajectory alive on the last
+          // payoffs that actually solved (zero before any did).
+          for (const std::size_t i : sub_index) {
+            record.utility[i] =
+                i < last_good.size() ? last_good[i] : 0.0;
+          }
+          ++result.degradation.failed_stages;
+          ++result.degradation.reused_stages;
+          result.degradation.incidents.push_back(
+              {k, d.status, d.residual, d.retries, true});
+        }
+      }
+    }
+
     for (std::size_t i = 0; i < n; ++i) {
       result.discounted_utility[i] += discount_k * record.utility[i];
       result.total_utility[i] += record.utility[i];
     }
     discount_k *= delta;
     result.history.push_back(std::move(record));
+
+    if (per_view) {
+      // Each player's view of this stage: own window exact, opponents'
+      // through the observation fault model (fixed i-then-j draw order).
+      const StageRecord& truth = result.history.back();
+      for (std::size_t i = 0; i < n; ++i) {
+        StageRecord view = truth;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i || !player_online(truth, j)) continue;
+          const int fallback =
+              k > 0 ? observed[i][static_cast<std::size_t>(k - 1)].cw[j]
+                    : truth.cw[j];
+          view.cw[j] = injector->observe_cw(truth.cw[j], fallback).cw;
+        }
+        observed[i].push_back(std::move(view));
+      }
+    }
+  }
+
+  if (injector) {
+    result.degradation.stages = stages;
+    result.degradation.crash_events = injector->crash_events();
+    result.degradation.join_events = injector->join_events();
+    result.degradation.lost_observations = injector->lost_observations();
+    result.degradation.noisy_observations = injector->noisy_observations();
+    result.degradation.last_fault_stage = injector->last_fault_stage();
   }
 
   // Convergence facts.

@@ -10,6 +10,8 @@
 #include <optional>
 #include <vector>
 
+#include "fault/degradation.hpp"
+#include "fault/fault_injector.hpp"
 #include "game/stage_game.hpp"
 #include "game/strategies.hpp"
 
@@ -25,6 +27,8 @@ struct RepeatedGameResult {
   /// First stage index from which the profile never changes again;
   /// equals the horizon when the profile kept moving.
   int stable_from = 0;
+  /// What did not go cleanly (empty/clean for fault-free runs).
+  fault::DegradationReport degradation;
 };
 
 /// Plays n strategies for a fixed number of stages.
@@ -38,6 +42,25 @@ class RepeatedGameEngine {
 
   /// Runs `stages` >= 1 stages from scratch and returns the trajectory.
   RepeatedGameResult play(int stages);
+
+  /// Fault-aware horizon. `injector` (node_count == player_count, stage 0
+  /// not yet begun) drives crashes/joins, bursty PER, and observation
+  /// faults; pass nullptr for the fault-free behavior of play(stages).
+  ///
+  /// Semantics under faults:
+  ///  - A crashed player keeps its configured window but does not
+  ///    transmit: its stage utility is 0 and its strategy is not asked to
+  ///    decide until it rejoins. StageRecord::online carries the mask.
+  ///  - Stage payoffs solve over the *online* sub-profile with the
+  ///    injector's effective PER. A kDegraded solve is used as-is but
+  ///    recorded; a kFailed solve reuses each online player's payoff from
+  ///    the last stage that solved (0 before any did) — the engine never
+  ///    throws on solver trouble.
+  ///  - When observation faults are enabled, each player decides on its
+  ///    own observed history: opponents' windows pass through
+  ///    FaultInjector::observe_cw with the player's previous belief as the
+  ///    loss fallback.
+  RepeatedGameResult play(int stages, fault::FaultInjector* injector);
 
  private:
   const StageGame& game_;

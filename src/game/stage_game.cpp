@@ -26,6 +26,27 @@ std::vector<double> StageGame::stage_utilities(
   return u;
 }
 
+StageGame::StagePayoffs StageGame::try_stage_utilities(
+    const std::vector<int>& w, std::optional<double> per_override) const {
+  if (w.empty()) {
+    StagePayoffs out;
+    out.diagnostics.status = analytical::SolveStatus::kFailed;
+    out.diagnostics.method = "invalid";
+    return out;
+  }
+  const double per = per_override.value_or(params_.packet_error_rate);
+  const analytical::TrySolveResult solved =
+      solve_cache_.solve(w, params_.max_backoff_stage, per);
+  StagePayoffs out;
+  out.diagnostics = solved.diagnostics;
+  if (analytical::usable(solved.diagnostics.status)) {
+    out.utilities = analytical::utility_rates(solved.state, params_, mode_);
+    const double t_us = stage_duration_us();
+    for (double& v : out.utilities) v *= t_us;
+  }
+  return out;
+}
+
 double StageGame::homogeneous_utility_rate(int w, int n) const {
   if (w < 1 || n < 1) {
     throw std::invalid_argument("StageGame: homogeneous w/n out of range");

@@ -9,10 +9,12 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "analytical/fixed_point_solver.hpp"
+#include "analytical/solver_cache.hpp"
 #include "phy/parameters.hpp"
 
 namespace smac::game {
@@ -41,6 +43,21 @@ class StageGame {
   /// Per-node stage payoffs U_i^s = u_i·T for an arbitrary profile.
   std::vector<double> stage_utilities(const std::vector<int>& w) const;
 
+  /// Non-throwing stage payoffs: per-node payoffs plus the solver
+  /// diagnostics. `per_override` replaces the configured packet error rate
+  /// (fault injection layers bursty loss on top of the base PER). Routed
+  /// through a thread-safe memo keyed on (profile, max_stage, PER), so
+  /// repeated games and tournaments that revisit the same profile —
+  /// especially after a fault knocks the history back to a prior state —
+  /// pay for each solve once.
+  struct StagePayoffs {
+    std::vector<double> utilities;
+    analytical::SolveDiagnostics diagnostics;
+  };
+  StagePayoffs try_stage_utilities(
+      const std::vector<int>& w,
+      std::optional<double> per_override = std::nullopt) const;
+
   /// Utility rate of one node when all n nodes play w (memoized).
   double homogeneous_utility_rate(int w, int n) const;
 
@@ -58,6 +75,7 @@ class StageGame {
   phy::AccessMode mode_;
   mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<int, int>, double> homogeneous_cache_;
+  mutable analytical::NetworkSolveCache solve_cache_;
 };
 
 }  // namespace smac::game

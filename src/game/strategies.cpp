@@ -8,8 +8,25 @@
 
 namespace smac::game {
 
+bool player_online(const StageRecord& record, std::size_t i) {
+  if (record.online.empty()) return true;
+  return i < record.online.size() && record.online[i] != 0;
+}
+
 int min_cw(const StageRecord& record) {
   if (record.cw.empty()) throw std::invalid_argument("min_cw: empty record");
+  int best = 0;
+  bool found = false;
+  for (std::size_t j = 0; j < record.cw.size(); ++j) {
+    if (!player_online(record, j)) continue;
+    if (!found || record.cw[j] < best) {
+      best = record.cw[j];
+      found = true;
+    }
+  }
+  if (found) return best;
+  // Every player down this stage — fall back to the raw profile so TFT
+  // still has a well-defined (if moot) response.
   return *std::min_element(record.cw.begin(), record.cw.end());
 }
 
@@ -72,6 +89,9 @@ int GenerousTitForTat::decide(const History& history, std::size_t self) {
   const double mine = avg[self];
   bool someone_more_aggressive = false;
   for (std::size_t j = 0; j < n; ++j) {
+    // A crashed player is not transmitting; its stale window must not
+    // trigger retaliation.
+    if (!player_online(history.back(), j)) continue;
     if (j != self && avg[j] < beta_ * mine) {
       someone_more_aggressive = true;
       break;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,7 +20,16 @@ namespace smac::game {
 struct StageRecord {
   std::vector<int> cw;           ///< contention window of every player
   std::vector<double> utility;   ///< realized stage utility of every player
+  /// Fault-aware engines mark crashed players: online[i] == 0 means player
+  /// i was down this stage (its cw carries its last configuration but it
+  /// did not transmit and must not drive TFT matching). Empty — the
+  /// default, and the only state fault-free engines produce — means every
+  /// player was online.
+  std::vector<std::uint8_t> online;
 };
+
+/// Whether player i was online in `record` (empty mask = all online).
+bool player_online(const StageRecord& record, std::size_t i);
 
 /// Public history of the repeated game, oldest stage first.
 using History = std::vector<StageRecord>;
@@ -136,7 +146,9 @@ class MyopicBestResponse final : public Strategy {
   Oracle oracle_;
 };
 
-/// Convenience: the minimum window across one stage record.
+/// Convenience: the minimum window across one stage record's *online*
+/// players (all players when the online mask is empty; falls back to the
+/// full profile if every player is marked down).
 int min_cw(const StageRecord& record);
 
 }  // namespace smac::game

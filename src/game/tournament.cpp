@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "game/equilibrium.hpp"
+#include "parallel/replication.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace smac::game {
@@ -36,6 +37,12 @@ Tournament::Tournament(const StageGame& game, int n_players, int stages,
   if (jobs_ == 0) jobs_ = parallel::ThreadPool::default_jobs();
 }
 
+void Tournament::set_fault_plan(fault::FaultPlan plan, std::uint64_t seed) {
+  plan.validate();
+  fault_plan_ = std::move(plan);
+  fault_seed_ = seed;
+}
+
 MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
                                 int count_a) const {
   if (count_a < 0 || count_a > n_) {
@@ -50,10 +57,22 @@ MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
     players.push_back(i < count_a ? a.make() : b.make());
   }
   RepeatedGameEngine engine(game_, std::move(players));
-  const RepeatedGameResult result = engine.play(stages_);
+  RepeatedGameResult result;
+  if (fault_plan_.empty()) {
+    result = engine.play(stages_);
+  } else {
+    // One injector per mix, seeded off the mix size: every play_mix call
+    // is self-contained, so fan-out order cannot perturb fault draws.
+    fault::FaultInjector injector(
+        fault_plan_, static_cast<std::size_t>(n_),
+        parallel::stream_seed(fault_seed_,
+                              static_cast<std::uint64_t>(count_a)));
+    result = engine.play(stages_, &injector);
+  }
 
   MixOutcome outcome;
   outcome.count_a = count_a;
+  outcome.degradation = result.degradation;
   outcome.count_b = n_ - count_a;
   for (int i = 0; i < n_; ++i) {
     const double u = result.discounted_utility[static_cast<std::size_t>(i)];

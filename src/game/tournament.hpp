@@ -41,6 +41,9 @@ struct MixOutcome {
   int count_b = 0;
   double payoff_a = 0.0;  ///< mean discounted utility of A-players
   double payoff_b = 0.0;  ///< mean discounted utility of B-players
+  /// Faults and solver trouble of this mix's repeated game (clean when no
+  /// fault plan is set).
+  fault::DegradationReport degradation;
 };
 
 class Tournament {
@@ -53,6 +56,13 @@ class Tournament {
   /// in a fixed order, so scores are bit-identical for any jobs value.
   Tournament(const StageGame& game, int n_players, int stages,
              std::size_t jobs = 1);
+
+  /// Runs every subsequent mix under this fault plan. Each mix gets its
+  /// own FaultInjector seeded via parallel::stream_seed(seed, count_a), so
+  /// outcomes stay bit-identical for any jobs value and comparisons across
+  /// mixes of the same size face the same fault trajectory. Pass an empty
+  /// plan to go back to fault-free play.
+  void set_fault_plan(fault::FaultPlan plan, std::uint64_t seed);
 
   /// Plays one mix: the first `count_a` players use A, the rest B.
   MixOutcome play_mix(const Contender& a, const Contender& b,
@@ -81,6 +91,8 @@ class Tournament {
   int n_;
   int stages_;
   std::size_t jobs_;
+  fault::FaultPlan fault_plan_;  ///< empty() = fault-free play
+  std::uint64_t fault_seed_ = 0;
 };
 
 /// The paper's cast, ready to use: TFT, GTFT(β, r0), Constant(w),

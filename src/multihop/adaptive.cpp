@@ -8,6 +8,13 @@ namespace smac::multihop {
 MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
                                     RandomWaypointModel* mobility,
                                     const MultihopTftConfig& config) {
+  return play_multihop_tft(sim, mobility, config, nullptr);
+}
+
+MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
+                                    RandomWaypointModel* mobility,
+                                    const MultihopTftConfig& config,
+                                    fault::FaultInjector* injector) {
   if (config.stages < 1) {
     throw std::invalid_argument("play_multihop_tft: stages < 1");
   }
@@ -20,13 +27,29 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
   if (mobility && mobility->node_count() != sim.node_count()) {
     throw std::invalid_argument("play_multihop_tft: mobility size mismatch");
   }
+  if (injector && injector->node_count() != sim.node_count()) {
+    throw std::invalid_argument("play_multihop_tft: injector size mismatch");
+  }
   const std::size_t n = sim.node_count();
 
   MultihopTftResult result;
   std::vector<int> profile(n);
   for (std::size_t i = 0; i < n; ++i) profile[i] = sim.cw(i);
+  // observed[i][j]: node i's current belief of node j's window (loss
+  // fallback for the observation fault model).
+  std::vector<std::vector<int>> observed(
+      injector ? n : 0, std::vector<int>(injector ? n : 0, 0));
+  if (injector) {
+    for (std::size_t i = 0; i < n; ++i) observed[i] = profile;
+  }
 
   for (int k = 0; k < config.stages; ++k) {
+    if (injector) {
+      injector->begin_stage(k);
+      for (std::size_t i = 0; i < n; ++i) {
+        sim.set_node_active(i, injector->online(i));
+      }
+    }
     // Run the stage with the current profile.
     const MultihopResult run = sim.run_slots(config.slots_per_stage);
     MultihopStage stage;
@@ -37,6 +60,7 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
     }
     stage.global_payoff = run.global_payoff_rate;
     stage.topology_connected = sim.topology().connected();
+    if (injector) stage.online = injector->online_mask();
     result.stages.push_back(std::move(stage));
 
     // Mobility epoch: nodes move, the observation graph changes.
@@ -47,18 +71,43 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
     }
 
     // Graph-local TFT on the (possibly new) topology: match the smallest
-    // window in the closed neighborhood.
+    // window in the closed neighborhood. Under faults, only online
+    // neighbors are matched and their windows are read through the
+    // observation model (fixed i-then-j draw order); crashed nodes keep
+    // their configured window untouched.
     std::vector<int> next(n);
     const Topology& topo = sim.topology();
     for (std::size_t i = 0; i < n; ++i) {
+      if (injector && !injector->online(i)) {
+        next[i] = profile[i];
+        continue;
+      }
       int w = profile[i];
-      for (std::size_t j : topo.neighbors(i)) w = std::min(w, profile[j]);
+      for (std::size_t j : topo.neighbors(i)) {
+        if (!injector) {
+          w = std::min(w, profile[j]);
+        } else if (injector->online(j)) {
+          const int seen =
+              injector->observe_cw(profile[j], observed[i][j]).cw;
+          observed[i][j] = seen;
+          w = std::min(w, seen);
+        }
+      }
       next[i] = w;
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (next[i] != profile[i]) sim.set_cw(i, next[i]);
     }
     profile = std::move(next);
+  }
+
+  if (injector) {
+    result.degradation.stages = config.stages;
+    result.degradation.crash_events = injector->crash_events();
+    result.degradation.join_events = injector->join_events();
+    result.degradation.lost_observations = injector->lost_observations();
+    result.degradation.noisy_observations = injector->noisy_observations();
+    result.degradation.last_fault_stage = injector->last_fault_stage();
   }
 
   const std::vector<int>& last = result.stages.back().cw;

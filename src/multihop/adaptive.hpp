@@ -15,6 +15,8 @@
 #include <optional>
 #include <vector>
 
+#include "fault/degradation.hpp"
+#include "fault/fault_injector.hpp"
 #include "multihop/mobility.hpp"
 #include "multihop/multihop_simulator.hpp"
 
@@ -25,6 +27,8 @@ struct MultihopStage {
   std::vector<double> payoff;     ///< measured per-node payoff rates
   double global_payoff = 0.0;
   bool topology_connected = false;
+  /// Fault-aware runs mark crashed nodes (empty = all online).
+  std::vector<std::uint8_t> online;
 };
 
 struct MultihopTftResult {
@@ -33,6 +37,8 @@ struct MultihopTftResult {
   std::optional<int> converged_cw;
   /// First stage whose profile equals the final one.
   int stable_from = 0;
+  /// Fault accounting (clean for fault-free runs).
+  fault::DegradationReport degradation;
 };
 
 struct MultihopTftConfig {
@@ -48,5 +54,16 @@ struct MultihopTftConfig {
 MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
                                     RandomWaypointModel* mobility,
                                     const MultihopTftConfig& config);
+
+/// Fault-aware variant. `injector` (node_count matching, stage 0 not yet
+/// begun) drives crashes/joins and observation faults; nullptr reproduces
+/// the fault-free overload exactly. A crashed node is deactivated in the
+/// simulator, keeps its window, and is skipped by its neighbors' TFT
+/// matching; each node's view of a neighbor's window passes through
+/// FaultInjector::observe_cw with its previous belief as loss fallback.
+MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
+                                    RandomWaypointModel* mobility,
+                                    const MultihopTftConfig& config,
+                                    fault::FaultInjector* injector);
 
 }  // namespace smac::multihop

@@ -11,7 +11,8 @@ MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
     : config_(std::move(config)),
       times_(config_.params.slot_times(config_.mode)),
       topology_(std::move(topology)),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      active_(cw_profile.size(), 1) {
   config_.params.validate();
   if (cw_profile.size() != topology_.node_count()) {
     throw std::invalid_argument("MultihopSimulator: profile/topology mismatch");
@@ -36,6 +37,10 @@ void MultihopSimulator::set_profile(const std::vector<int>& cw_profile) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i].set_cw(cw_profile[i]);
   }
+}
+
+void MultihopSimulator::set_node_active(std::size_t i, bool active) {
+  active_.at(i) = active ? 1 : 0;
 }
 
 void MultihopSimulator::update_topology(Topology topology) {
@@ -72,7 +77,7 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     transmitters.clear();
     std::fill(is_tx.begin(), is_tx.end(), 0);
     for (std::size_t i = 0; i < n; ++i) {
-      if (nodes_[i].ready()) {
+      if (active_[i] != 0 && nodes_[i].ready()) {
         transmitters.push_back(i);
         is_tx[i] = 1;
       }
@@ -81,11 +86,19 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     // Pick receivers and classify outcomes.
     for (std::size_t i : transmitters) {
       const auto& nb = topology_.neighbors(i);
-      if (nb.empty()) {
+      // Crashed neighbors cannot receive; with the fault layer off every
+      // node is active and this is the plain neighbor list (no extra
+      // draws, same RNG trajectory as before).
+      receiver_scratch_.clear();
+      for (std::size_t j : nb) {
+        if (active_[j] != 0) receiver_scratch_.push_back(j);
+      }
+      if (receiver_scratch_.empty()) {
         outcome[i] = 3;  // isolated node: nothing to send to
         continue;
       }
-      const std::size_t r = nb[rng_.uniform_below(nb.size())];
+      const std::size_t r =
+          receiver_scratch_[rng_.uniform_below(receiver_scratch_.size())];
       receiver_of[i] = r;
 
       bool sender_contended = false;
@@ -110,8 +123,10 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     }
 
     // Local channel time: σ if no transmitter in range (incl. self),
-    // T_s if some in-range transmission succeeded, else T_c.
+    // T_s if some in-range transmission succeeded, else T_c. A crashed
+    // node senses nothing and accrues no local time.
     for (std::size_t i = 0; i < n; ++i) {
+      if (active_[i] == 0) continue;
       bool any_tx = is_tx[i] != 0;
       bool any_success = any_tx && outcome[i] == 0;
       if (!any_success) {
@@ -131,8 +146,10 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
                                               : times_.tc_us;
     }
 
-    // Apply outcomes to backoff state and counters.
+    // Apply outcomes to backoff state and counters. Crashed nodes freeze
+    // their backoff until they rejoin.
     for (std::size_t i = 0; i < n; ++i) {
+      if (active_[i] == 0) continue;
       if (!is_tx[i]) {
         nodes_[i].observe_slot();
         continue;

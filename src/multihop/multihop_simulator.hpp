@@ -76,6 +76,12 @@ class MultihopSimulator {
   void set_all_cw(int w);
   void set_profile(const std::vector<int>& cw_profile);
 
+  /// Crashes (active = false) or rejoins node i. An inactive node never
+  /// transmits, freezes its backoff, accrues no local channel time (its
+  /// payoff rate is 0), and is skipped when neighbors pick receivers.
+  void set_node_active(std::size_t i, bool active);
+  bool node_active(std::size_t i) const { return active_.at(i) != 0; }
+
   /// Replaces the topology (same node count) — the mobility hook.
   void update_topology(Topology topology);
 
@@ -88,6 +94,8 @@ class MultihopSimulator {
   Topology topology_;
   std::vector<sim::DcfNode> nodes_;
   util::Rng rng_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::size_t> receiver_scratch_;
 };
 
 /// A replicated Monte-Carlo batch of one multihop configuration.

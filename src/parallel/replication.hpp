@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -50,6 +51,15 @@ std::uint64_t stream_seed(std::uint64_t base_seed,
 /// Convenience: an Rng already seeded for replication `index`.
 util::Rng stream_rng(std::uint64_t base_seed, std::uint64_t index) noexcept;
 
+/// What a batch does when one replication throws.
+enum class FailurePolicy {
+  /// Rethrow the first (lowest-index) failure after the batch drains.
+  kFailFast,
+  /// Record the failure, keep the default-constructed result slot, and
+  /// keep going; errors come back alongside the results.
+  kCollect,
+};
+
 /// How to fan a batch of replications across cores.
 struct ReplicationPlan {
   std::size_t replications = 1;
@@ -57,16 +67,45 @@ struct ReplicationPlan {
   /// Worker threads; 1 runs inline on the caller, 0 means
   /// ThreadPool::default_jobs() (SMAC_JOBS env or hardware concurrency).
   std::size_t jobs = 1;
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+};
+
+/// One replication that threw instead of returning.
+struct ReplicationError {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Results of a batch run under FailurePolicy::kCollect: result slots in
+/// index order (failed slots default-constructed) plus the error records.
+template <class R>
+struct ReplicationBatch {
+  std::vector<R> results;
+  std::vector<ReplicationError> errors;  ///< sorted by index
+
+  /// True when every replication returned normally.
+  bool ok() const noexcept { return errors.empty(); }
+  /// Whether replication `i` produced a valid result.
+  bool succeeded(std::size_t i) const noexcept {
+    for (const ReplicationError& e : errors) {
+      if (e.index == i) return false;
+    }
+    return true;
+  }
 };
 
 /// Summary of one replicated experiment whose replications each produce a
 /// row of named metrics.
 struct ReplicationSummary {
   std::vector<std::string> metric_names;
-  /// rows[r][m]: metric m of replication r (index order).
+  /// rows[r][m]: metric m of replication r (index order). Under
+  /// FailurePolicy::kCollect a failed replication's row is all-NaN.
   std::vector<std::vector<double>> rows;
-  /// Across-replication mean / stddev / 95% CI / extrema per metric.
+  /// Across-replication mean / stddev / 95% CI / extrema per metric,
+  /// aggregated over the *successful* rows only.
   std::vector<util::MetricSummary> metrics;
+  /// Failed replications (empty unless the plan collects failures).
+  std::vector<ReplicationError> errors;
 };
 
 /// Fans N independent replications of a callable experiment across a
@@ -84,10 +123,18 @@ class ReplicationRunner {
   /// must be default-constructible. fn is invoked concurrently for
   /// distinct indices when jobs() > 1; with jobs() == 1 everything runs
   /// inline on the calling thread (no pool is created).
+  ///
+  /// Failure behavior follows plan().failure_policy: kFailFast propagates
+  /// the first exception (remaining indices may never run); kCollect
+  /// swallows per-replication failures, leaving those slots
+  /// default-constructed (use run_collect to also get the error records).
   template <class Fn>
   auto run(Fn&& fn) const
       -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::size_t>> {
     using R = std::invoke_result_t<Fn&, std::uint64_t, std::size_t>;
+    if (plan_.failure_policy == FailurePolicy::kCollect) {
+      return run_collect(std::forward<Fn>(fn)).results;
+    }
     std::vector<R> results(plan_.replications);
     auto one = [&](std::size_t i) {
       results[i] = fn(stream_seed(plan_.base_seed, i), i);
@@ -101,16 +148,75 @@ class ReplicationRunner {
     return results;
   }
 
+  /// Collect-and-continue batch: every index runs to completion no matter
+  /// how many throw; failures come back as ReplicationError records
+  /// (sorted by index) with their result slots default-constructed.
+  /// Error capture is per-index, so the batch — errors included — is as
+  /// deterministic as the experiment itself.
+  template <class Fn>
+  auto run_collect(Fn&& fn) const -> ReplicationBatch<
+      std::invoke_result_t<Fn&, std::uint64_t, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::uint64_t, std::size_t>;
+    ReplicationBatch<R> batch;
+    batch.results.resize(plan_.replications);
+    std::vector<std::string> messages(plan_.replications);
+    std::vector<std::uint8_t> failed(plan_.replications, 0);
+    auto one = [&](std::size_t i) {
+      try {
+        batch.results[i] = fn(stream_seed(plan_.base_seed, i), i);
+      } catch (const std::exception& e) {
+        failed[i] = 1;
+        messages[i] = e.what();
+      } catch (...) {
+        failed[i] = 1;
+        messages[i] = "non-standard exception";
+      }
+    };
+    if (jobs_ == 1 || plan_.replications <= 1) {
+      for (std::size_t i = 0; i < plan_.replications; ++i) one(i);
+    } else {
+      ThreadPool pool(jobs_);
+      pool.for_each_index(plan_.replications, one);
+    }
+    for (std::size_t i = 0; i < plan_.replications; ++i) {
+      if (failed[i] != 0) batch.errors.push_back({i, std::move(messages[i])});
+    }
+    return batch;
+  }
+
   /// Runs a metric-row experiment — fn(seed, index) returns one double
   /// per entry of `metric_names` — and aggregates mean / stddev / 95% CI
   /// per metric across replications (in index order, so the aggregate is
-  /// itself deterministic).
+  /// itself deterministic). Under FailurePolicy::kCollect, failed
+  /// replications surface in `errors`, their rows become all-NaN, and the
+  /// aggregates cover the successful rows only.
   template <class Fn>
   ReplicationSummary run_summarized(std::vector<std::string> metric_names,
                                     Fn&& fn) const {
     ReplicationSummary summary;
-    summary.rows = run(std::forward<Fn>(fn));
-    summary.metrics = util::summarize_replications(metric_names, summary.rows);
+    if (plan_.failure_policy == FailurePolicy::kCollect) {
+      auto batch = run_collect(std::forward<Fn>(fn));
+      summary.rows = std::move(batch.results);
+      summary.errors = std::move(batch.errors);
+      std::vector<std::vector<double>> good;
+      good.reserve(summary.rows.size());
+      std::size_t next_error = 0;
+      for (std::size_t i = 0; i < summary.rows.size(); ++i) {
+        if (next_error < summary.errors.size() &&
+            summary.errors[next_error].index == i) {
+          ++next_error;
+          summary.rows[i].assign(metric_names.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+        } else {
+          good.push_back(summary.rows[i]);
+        }
+      }
+      summary.metrics = util::summarize_replications(metric_names, good);
+    } else {
+      summary.rows = run(std::forward<Fn>(fn));
+      summary.metrics =
+          util::summarize_replications(metric_names, summary.rows);
+    }
     summary.metric_names = std::move(metric_names);
     return summary;
   }

@@ -15,6 +15,7 @@ struct Simulator::WindowAccumulator {
   std::uint64_t collision_slots = 0;
   std::uint64_t error_slots = 0;
   std::uint64_t capture_slots = 0;
+  std::uint64_t bad_state_slots = 0;
 };
 
 Simulator::Simulator(SimConfig config, const std::vector<int>& cw_profile)
@@ -23,8 +24,22 @@ Simulator::Simulator(SimConfig config, const std::vector<int>& cw_profile)
       backlog_(cw_profile.size(), 0),
       backlog_time_integral_(cw_profile.size(), 0.0),
       arrival_rng_(config_.seed ^ 0xa221ba1ULL),
-      channel_rng_(config_.seed ^ 0xc4a22e1ULL) {
+      channel_rng_(config_.seed ^ 0xc4a22e1ULL),
+      node_up_(cw_profile.size(), 1),
+      fault_channel_(config_.faults.channel,
+                     util::Rng(config_.seed ^ 0xb4d57a7eULL)) {
   config_.params.validate();
+  config_.faults.validate();
+  for (const fault::SlotEvent& e : config_.faults.events) {
+    if (e.node >= cw_profile.size()) {
+      throw std::invalid_argument("Simulator: fault event node index");
+    }
+  }
+  // Events apply in (slot, declaration) order.
+  std::stable_sort(config_.faults.events.begin(), config_.faults.events.end(),
+                   [](const fault::SlotEvent& a, const fault::SlotEvent& b) {
+                     return a.slot < b.slot;
+                   });
   if (config_.arrival_rate_pps < 0.0) {
     throw std::invalid_argument("Simulator: negative arrival rate");
   }
@@ -49,6 +64,10 @@ void Simulator::set_all_cw(int w) {
   for (auto& node : nodes_) node.set_cw(w);
 }
 
+void Simulator::set_node_online(std::size_t i, bool up) {
+  node_up_.at(i) = up ? 1 : 0;
+}
+
 void Simulator::set_profile(const std::vector<int>& cw_profile) {
   if (cw_profile.size() != nodes_.size()) {
     throw std::invalid_argument("Simulator::set_profile: size mismatch");
@@ -59,6 +78,18 @@ void Simulator::set_profile(const std::vector<int>& cw_profile) {
 }
 
 void Simulator::step(WindowAccumulator& acc) {
+  // Faults resolve at the slot boundary: scripted events first, then one
+  // step of the bursty-loss chain (no draws when the plan is empty).
+  while (next_fault_event_ < config_.faults.events.size() &&
+         config_.faults.events[next_fault_event_].slot <= total_slots_) {
+    const fault::SlotEvent& e = config_.faults.events[next_fault_event_++];
+    node_up_[e.node] = e.kind == fault::FaultKind::kJoin ? 1 : 0;
+  }
+  fault_channel_.step();
+  if (fault_channel_.bad()) ++acc.bad_state_slots;
+  const double effective_per =
+      fault_channel_.effective_per(config_.params.packet_error_rate);
+
   ready_scratch_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (node_active(i) && nodes_[i].ready()) ready_scratch_.push_back(i);
@@ -70,7 +101,7 @@ void Simulator::step(WindowAccumulator& acc) {
     ++acc.idle_slots;
   } else if (ready_scratch_.size() == 1) {
     const std::size_t sender = ready_scratch_.front();
-    const double per = config_.params.packet_error_rate;
+    const double per = effective_per;
     if (per > 0.0 && channel_rng_.bernoulli(per)) {
       // Corrupted by noise: the frame occupies its full airtime but no
       // ACK arrives — the sender backs off exactly as after a collision.
@@ -90,7 +121,7 @@ void Simulator::step(WindowAccumulator& acc) {
     slot_us = times_.ts_us;  // the captured frame completes its exchange
     const std::size_t winner = ready_scratch_[static_cast<std::size_t>(
         channel_rng_.uniform_below(ready_scratch_.size()))];
-    const double per = config_.params.packet_error_rate;
+    const double per = effective_per;
     const bool corrupted = per > 0.0 && channel_rng_.bernoulli(per);
     for (std::size_t i : ready_scratch_) {
       if (i == winner && !corrupted) {
@@ -133,6 +164,7 @@ void Simulator::step(WindowAccumulator& acc) {
     }
   }
   ++acc.slots;
+  ++total_slots_;
 }
 
 namespace {
@@ -141,7 +173,8 @@ SimResult finalize(const std::vector<DcfNode>& nodes,
                    const phy::Parameters& params, double elapsed_us,
                    std::uint64_t slots, std::uint64_t idle,
                    std::uint64_t success, std::uint64_t collision,
-                   std::uint64_t error, std::uint64_t capture) {
+                   std::uint64_t error, std::uint64_t capture,
+                   std::uint64_t bad_state) {
   SimResult result;
   result.elapsed_us = elapsed_us;
   result.slots = slots;
@@ -150,6 +183,7 @@ SimResult finalize(const std::vector<DcfNode>& nodes,
   result.collision_slots = collision;
   result.error_slots = error;
   result.capture_slots = capture;
+  result.bad_state_slots = bad_state;
   result.node.reserve(nodes.size());
   for (const auto& node : nodes) result.node.push_back(node.counters());
 
@@ -188,7 +222,7 @@ SimResult Simulator::run_for(double duration_us) {
   SimResult result = finalize(nodes_, config_.params, acc.elapsed_us,
                               acc.slots, acc.idle_slots, acc.success_slots,
                               acc.collision_slots, acc.error_slots,
-                              acc.capture_slots);
+                              acc.capture_slots, acc.bad_state_slots);
   result.mean_backlog.resize(nodes_.size(), 0.0);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     result.mean_backlog[i] = backlog_time_integral_[i] / acc.elapsed_us;
@@ -205,7 +239,7 @@ SimResult Simulator::run_slots(std::uint64_t n) {
   SimResult result = finalize(nodes_, config_.params, acc.elapsed_us,
                               acc.slots, acc.idle_slots, acc.success_slots,
                               acc.collision_slots, acc.error_slots,
-                              acc.capture_slots);
+                              acc.capture_slots, acc.bad_state_slots);
   result.mean_backlog.resize(nodes_.size(), 0.0);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     result.mean_backlog[i] = backlog_time_integral_[i] / acc.elapsed_us;

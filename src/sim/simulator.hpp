@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "phy/parameters.hpp"
 #include "sim/dcf_node.hpp"
 #include "util/rng.hpp"
@@ -40,6 +42,11 @@ struct SimConfig {
   /// Backoff adjustment law of every node (ablation; the paper's model
   /// covers only kBinaryExponential).
   BackoffPolicy backoff_policy = BackoffPolicy::kBinaryExponential;
+  /// Slot-level fault scenario: scripted crash/join events (slot indices
+  /// count from simulator construction, across windows) plus an optional
+  /// Gilbert–Elliott bursty-loss chain layered on packet_error_rate. An
+  /// empty plan (the default) draws nothing and changes nothing.
+  fault::SlotFaultPlan faults;
 };
 
 /// Measurements of one simulation window.
@@ -54,6 +61,8 @@ struct SimResult {
   std::uint64_t error_slots = 0;
   /// Collision slots rescued by the capture effect (one frame delivered).
   std::uint64_t capture_slots = 0;
+  /// Slots spent in the Gilbert–Elliott Bad state (0 without a fault plan).
+  std::uint64_t bad_state_slots = 0;
   std::vector<NodeCounters> node;
   /// Time-averaged queue length per node (always 0 in saturated mode,
   /// where the queue concept does not apply).
@@ -97,11 +106,19 @@ class Simulator {
   /// Current queue length of node i (0 in saturated mode).
   std::uint64_t backlog(std::size_t i) const { return backlog_.at(i); }
 
+  /// Crashes (up = false) or rejoins node i, on top of any scripted plan.
+  /// A crashed node does not contend, advance backoff, or drain its queue.
+  void set_node_online(std::size_t i, bool up);
+  bool node_online(std::size_t i) const { return node_up_.at(i) != 0; }
+  /// Channel slots simulated since construction (scripted SlotEvent
+  /// indices refer to this counter).
+  std::uint64_t total_slots() const noexcept { return total_slots_; }
+
  private:
   struct WindowAccumulator;
   void step(WindowAccumulator& acc);
   bool node_active(std::size_t i) const noexcept {
-    return saturated() || backlog_[i] > 0;
+    return node_up_[i] != 0 && (saturated() || backlog_[i] > 0);
   }
 
   SimConfig config_;
@@ -112,6 +129,10 @@ class Simulator {
   util::Rng arrival_rng_;
   util::Rng channel_rng_;  ///< PER / capture draws (untouched when both off)
   std::vector<std::size_t> ready_scratch_;
+  std::vector<std::uint8_t> node_up_;
+  fault::GilbertElliottChannel fault_channel_;
+  std::size_t next_fault_event_ = 0;
+  std::uint64_t total_slots_ = 0;
 };
 
 /// A replicated Monte-Carlo batch of one simulator configuration.

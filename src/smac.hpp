@@ -33,8 +33,14 @@
 #include "analytical/backoff_chain.hpp"
 #include "analytical/delay.hpp"
 #include "analytical/fixed_point_solver.hpp"
+#include "analytical/solver_cache.hpp"
 #include "analytical/throughput.hpp"
 #include "analytical/utility.hpp"
+
+// fault — deterministic fault injection + degradation accounting
+#include "fault/degradation.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 
 // game — the non-cooperative MAC game
 #include "game/asymmetric.hpp"
