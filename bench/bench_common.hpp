@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "parallel/replication.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace smac::bench {
@@ -65,6 +66,63 @@ inline void print_jobs(std::size_t jobs) {
   std::printf("replication jobs = %zu (override: --jobs N or SMAC_JOBS; "
               "results are seed-determined, independent of jobs)\n\n",
               jobs);
+}
+
+/// Sequential-stopping knobs for replicated experiments:
+///   --ci-target X   stop once the watched metric's CI half-width <= X
+///                   (0, the default, keeps the bench's fixed N)
+///   --max-reps N    replication budget cap (0 = keep the bench default)
+/// Parsed into a parallel::StoppingRule template whose metric/confidence/
+/// min_reps/batch_size the bench chooses per table. Stop points are
+/// seed-determined and jobs-invariant (src/parallel/replication.hpp).
+inline parallel::StoppingRule stopping_option(int argc,
+                                              const char* const* argv) {
+  auto parse_double = [](const char* text) -> double {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    return (end != text && *end == '\0' && v > 0.0) ? v : 0.0;
+  };
+  auto parse_size = [](const char* text) -> std::size_t {
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    return (end != text && *end == '\0' && v > 0)
+               ? static_cast<std::size_t>(v)
+               : 0;
+  };
+  parallel::StoppingRule rule;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ci-target=", 0) == 0) {
+      rule.ci_half_width_target = parse_double(arg.c_str() + 12);
+    } else if (arg == "--ci-target" && i + 1 < argc) {
+      rule.ci_half_width_target = parse_double(argv[i + 1]);
+    } else if (arg.rfind("--max-reps=", 0) == 0) {
+      rule.max_reps = parse_size(arg.c_str() + 11);
+    } else if (arg == "--max-reps" && i + 1 < argc) {
+      rule.max_reps = parse_size(argv[i + 1]);
+    }
+  }
+  return rule;
+}
+
+/// Applies a bench's per-table defaults to the user's CLI rule: the
+/// watched metric and batch size always come from the bench; max_reps
+/// stays at `default_reps` unless --max-reps overrode it.
+inline parallel::StoppingRule resolve_stopping(parallel::StoppingRule rule,
+                                               const std::string& metric,
+                                               std::size_t default_reps,
+                                               std::size_t batch_size = 0) {
+  rule.metric = metric;
+  if (rule.max_reps == 0) rule.max_reps = default_reps;
+  if (batch_size != 0) rule.batch_size = batch_size;
+  return rule;
+}
+
+/// One line describing how a replicated table was stopped — only worth
+/// printing when a --ci-target is active (fixed-N runs stay byte-stable
+/// without it).
+inline void print_stopping(const parallel::StoppingReport& report) {
+  std::printf("%s\n", report.summary().c_str());
 }
 
 }  // namespace smac::bench

@@ -29,55 +29,70 @@ int exact_ne(const phy::Parameters& params, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Channel-realism ablations: PER, capture, backoff law",
       "paper §III idealizations relaxed one axis at a time",
       "Basic access, n = 10 unless noted.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters base = phy::Parameters::paper();
+
+  // Every sweep point below is a self-contained experiment with its own
+  // fixed seed; each table fans its points across --jobs into per-index
+  // row slots and prints them in sweep order, so output is byte-identical
+  // for any jobs value.
 
   // 1. PER sweep: NE window and achievable utility.
   util::TextTable per_table({"PER", "W_c*", "u at W_c*", "vs clean %"});
   const double u_clean = analytical::homogeneous_utility_rate(
       exact_ne(base, 10), 10, base, phy::AccessMode::kBasic);
-  for (double per : {0.0, 0.05, 0.15, 0.3, 0.5}) {
+  const std::vector<double> pers{0.0, 0.05, 0.15, 0.3, 0.5};
+  std::vector<std::vector<std::string>> per_rows(pers.size());
+  bench::sweep(pers.size(), jobs, [&](std::size_t k) {
     phy::Parameters params = base;
-    params.packet_error_rate = per;
+    params.packet_error_rate = pers[k];
     const int w_star = exact_ne(params, 10);
     const double u = analytical::homogeneous_utility_rate(
         w_star, 10, params, phy::AccessMode::kBasic);
-    per_table.add_row({util::fmt_double(per, 2), std::to_string(w_star),
-                       util::fmt_double(u * 1e6, 3) + "e-6",
-                       util::fmt_double(u / u_clean * 100.0, 1)});
-  }
+    per_rows[k] = {util::fmt_double(pers[k], 2), std::to_string(w_star),
+                   util::fmt_double(u * 1e6, 3) + "e-6",
+                   util::fmt_double(u / u_clean * 100.0, 1)};
+  });
+  for (auto& row : per_rows) per_table.add_row(std::move(row));
   std::printf("%s\n", per_table.to_string().c_str());
 
   // 2. Capture sweep: throughput and the aggressor's premium (one node at
   //    W/8 among conformers at the NE window).
   const int w_star = exact_ne(base, 10);
   util::TextTable cap_table({"capture p", "throughput", "aggr. premium x"});
-  for (double cap : {0.0, 0.25, 0.5, 0.9}) {
+  const std::vector<double> captures{0.0, 0.25, 0.5, 0.9};
+  std::vector<std::vector<std::string>> cap_rows(captures.size());
+  bench::sweep(captures.size(), jobs, [&](std::size_t k) {
     sim::SimConfig config;
     config.seed = 77;
-    config.capture_probability = cap;
+    config.capture_probability = captures[k];
     std::vector<int> profile(10, w_star);
     profile[0] = std::max(1, w_star / 8);
     sim::Simulator sim(config, profile);
     const auto r = sim.run_slots(300000);
-    cap_table.add_row({util::fmt_double(cap, 2),
-                       util::fmt_double(r.throughput, 3),
-                       util::fmt_double(r.payoff_rate[0] / r.payoff_rate[1],
-                                        2)});
-  }
+    cap_rows[k] = {util::fmt_double(captures[k], 2),
+                   util::fmt_double(r.throughput, 3),
+                   util::fmt_double(r.payoff_rate[0] / r.payoff_rate[1], 2)};
+  });
+  for (auto& row : cap_rows) cap_table.add_row(std::move(row));
   std::printf("%s\n", cap_table.to_string().c_str());
 
   // 3. Backoff-law fairness at two horizons.
   util::TextTable law_table({"policy", "Jain (500 slots)",
                              "Jain (20k slots)", "throughput"});
-  for (auto policy : {sim::BackoffPolicy::kBinaryExponential,
-                      sim::BackoffPolicy::kMild,
-                      sim::BackoffPolicy::kConstant}) {
+  const std::vector<sim::BackoffPolicy> policies{
+      sim::BackoffPolicy::kBinaryExponential, sim::BackoffPolicy::kMild,
+      sim::BackoffPolicy::kConstant};
+  std::vector<std::vector<std::string>> law_rows(policies.size());
+  bench::sweep(policies.size(), jobs, [&](std::size_t k) {
+    const sim::BackoffPolicy policy = policies[k];
     auto jain_at = [&](std::uint64_t slots) {
       util::RunningStats acc;
       for (std::uint64_t seed = 0; seed < 10; ++seed) {
@@ -103,10 +118,11 @@ int main() {
                            : policy == sim::BackoffPolicy::kMild
                                  ? "MILD (MACAW)"
                                  : "constant";
-    law_table.add_row({name, util::fmt_double(jain_at(500), 3),
-                       util::fmt_double(jain_at(20000), 3),
-                       util::fmt_double(sim.run_slots(100000).throughput, 3)});
-  }
+    law_rows[k] = {name, util::fmt_double(jain_at(500), 3),
+                   util::fmt_double(jain_at(20000), 3),
+                   util::fmt_double(sim.run_slots(100000).throughput, 3)};
+  });
+  for (auto& row : law_rows) law_table.add_row(std::move(row));
   std::printf("%s\n", law_table.to_string().c_str());
   std::printf(
       "Expectation: PER drags W_c* *down* (escalation suppresses tau; a\n"

@@ -20,17 +20,21 @@ namespace {
 using namespace smac;
 
 std::size_t g_jobs = 1;
+parallel::StoppingRule g_rule;  ///< CLI template; metric/budget set per call
 
 // Fraction of independent replications in which node 0 is flagged.
 // Replication r runs with stream seed (0xdec0 + w_node0, r), so the rate
-// is a pure function of the arguments — independent of g_jobs.
+// is a pure function of the arguments — independent of g_jobs. `runs` is
+// the fixed default; an active --ci-target replicates in batches of 4
+// until the flag-rate CI half-width meets it (or --max-reps runs out).
 double measured_rate(int w_agreed, int w_node0, std::uint64_t slots,
                      const sim::DetectorConfig& config, int runs) {
+  const parallel::StoppingRule rule = bench::resolve_stopping(
+      g_rule, "flagged", static_cast<std::size_t>(runs), 4);
   const parallel::ReplicationRunner runner(
-      {static_cast<std::size_t>(runs),
-       0xdec0 + static_cast<std::uint64_t>(w_node0), g_jobs});
-  const auto flagged = runner.run(
-      [&](std::uint64_t seed, std::size_t /*index*/) {
+      {rule.max_reps, 0xdec0 + static_cast<std::uint64_t>(w_node0), g_jobs});
+  const auto summary = runner.run_sequential(
+      {"flagged"}, rule, [&](std::uint64_t seed, std::size_t /*index*/) {
         sim::SimConfig sc;
         sc.seed = seed;
         std::vector<int> profile(5, w_agreed);
@@ -38,11 +42,9 @@ double measured_rate(int w_agreed, int w_node0, std::uint64_t slots,
         sim::Simulator simulator(sc, profile);
         const auto verdicts = sim::detect_misbehavior(
             simulator.run_slots(slots), w_agreed, 6, config);
-        return verdicts[0].flagged ? 1 : 0;
+        return std::vector<double>{verdicts[0].flagged ? 1.0 : 0.0};
       });
-  int count = 0;
-  for (int f : flagged) count += f;
-  return static_cast<double>(count) / runs;
+  return summary.metrics[0].mean;
 }
 
 }  // namespace
@@ -54,6 +56,13 @@ int main(int argc, char** argv) {
       "Agreement W = 64, n = 5, significance 1%, tolerance 5%.");
   g_jobs = bench::jobs_option(argc, argv);
   bench::print_jobs(g_jobs);
+  g_rule = bench::stopping_option(argc, argv);
+  if (g_rule.ci_half_width_target > 0.0) {
+    std::printf("sequential stopping active: CI half-width target %g on "
+                "every measured rate%s\n\n",
+                g_rule.ci_half_width_target,
+                g_rule.max_reps ? " (capped by --max-reps)" : "");
+  }
 
   const sim::DetectorConfig config;
 

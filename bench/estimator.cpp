@@ -7,8 +7,11 @@
 // estimates (the estimating-TFT min-rule ratchets downward under noise;
 // GTFT's tolerance band is the fix — the practical argument for GTFT the
 // paper only sketches).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/cw_estimator.hpp"
@@ -19,19 +22,28 @@ namespace {
 using namespace smac;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "CW estimation accuracy and estimate-driven TFT stability",
       "paper §IV observation assumption (Kyasanur & Vaidya [3])",
       "Basic access, n = 5, true common window 64.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const int w = 64;
+
+  // Sweep points are self-contained experiments with fixed seeds, fanned
+  // across --jobs into per-index row slots and printed in sweep order —
+  // byte-identical output for any jobs value.
 
   // 1. Estimation error vs observation length.
   util::TextTable acc({"observed slots", "mean |W_hat - W|/W %",
                        "attempts per node"});
-  for (std::uint64_t slots : {2000ULL, 10000ULL, 50000ULL, 250000ULL,
-                              1000000ULL}) {
+  const std::vector<std::uint64_t> slot_lengths{2000, 10000, 50000, 250000,
+                                                1000000};
+  std::vector<std::vector<std::string>> acc_rows(slot_lengths.size());
+  bench::sweep(slot_lengths.size(), jobs, [&](std::size_t k) {
+    const std::uint64_t slots = slot_lengths[k];
     util::RunningStats err;
     util::RunningStats attempts;
     for (std::uint64_t seed = 0; seed < 6; ++seed) {
@@ -44,35 +56,37 @@ int main() {
         attempts.add(static_cast<double>(e.attempts));
       }
     }
-    acc.add_row({std::to_string(slots), util::fmt_double(err.mean(), 2),
-                 util::fmt_double(attempts.mean(), 0)});
-  }
+    acc_rows[k] = {std::to_string(slots), util::fmt_double(err.mean(), 2),
+                   util::fmt_double(attempts.mean(), 0)};
+  });
+  for (auto& row : acc_rows) acc.add_row(std::move(row));
   std::printf("%s\n", acc.to_string().c_str());
 
   // 2. Estimate-driven TFT vs GTFT across stage lengths.
   util::TextTable stab({"stage (s)", "strategy", "final min W",
                         "drift from 64 %"});
-  for (double stage_s : {0.3, 1.0, 4.0}) {
-    for (int variant = 0; variant < 2; ++variant) {
-      const bool gtft = variant == 1;
-      sim::EstimatingRuntime runtime(
-          sim::SimConfig{}, 5,
-          [&](std::size_t, auto feed, auto) -> std::unique_ptr<game::Strategy> {
-            if (gtft) {
-              return std::make_unique<sim::EstimatingGtft>(w, 0.75, 3, feed);
-            }
-            return std::make_unique<sim::EstimatingTitForTat>(w, feed);
-          },
-          stage_s * 1e6);
-      const auto result = runtime.play(12);
-      int min_cw = w;
-      for (int cw : result.history.back().cw) min_cw = std::min(min_cw, cw);
-      stab.add_row({util::fmt_double(stage_s, 1),
-                    gtft ? "gtft(0.75,3)" : "tft",
-                    std::to_string(min_cw),
-                    util::fmt_double((w - min_cw) * 100.0 / w, 1)});
-    }
-  }
+  const std::vector<double> stage_lengths{0.3, 1.0, 4.0};
+  std::vector<std::vector<std::string>> stab_rows(2 * stage_lengths.size());
+  bench::sweep(stab_rows.size(), jobs, [&](std::size_t k) {
+    const double stage_s = stage_lengths[k / 2];
+    const bool gtft = (k % 2) == 1;
+    sim::EstimatingRuntime runtime(
+        sim::SimConfig{}, 5,
+        [&](std::size_t, auto feed, auto) -> std::unique_ptr<game::Strategy> {
+          if (gtft) {
+            return std::make_unique<sim::EstimatingGtft>(w, 0.75, 3, feed);
+          }
+          return std::make_unique<sim::EstimatingTitForTat>(w, feed);
+        },
+        stage_s * 1e6);
+    const auto result = runtime.play(12);
+    int min_cw = w;
+    for (int cw : result.history.back().cw) min_cw = std::min(min_cw, cw);
+    stab_rows[k] = {util::fmt_double(stage_s, 1),
+                    gtft ? "gtft(0.75,3)" : "tft", std::to_string(min_cw),
+                    util::fmt_double((w - min_cw) * 100.0 / w, 1)};
+  });
+  for (auto& row : stab_rows) stab.add_row(std::move(row));
   std::printf("%s\n", stab.to_string().c_str());
   std::printf(
       "Expectation: estimation error decays roughly as 1/sqrt(attempts);\n"

@@ -195,6 +195,33 @@ int main(int argc, char** argv) {
                 slot_table.to_string().c_str());
   }
 
+  // Replicated mid-grid cell under sequential stopping: the same faulted
+  // GTFT game across independent fault trajectories, streamed until the
+  // recovery-time CI half-width meets --ci-target (or the --max-reps
+  // budget, default 6, in batches of 3, runs out). Stop points are
+  // seed-determined and jobs-invariant, so this section stays
+  // byte-identical at any --jobs too.
+  {
+    const parallel::StoppingRule rule = bench::resolve_stopping(
+        bench::stopping_option(argc, argv), "recovery stages", 6, 3);
+    const parallel::ReplicationRunner runner(
+        {rule.max_reps, kBaseSeed ^ 0x5eedULL, jobs});
+    const auto summary = runner.run_sequential(
+        {"final W", "stable from", "recovery stages"}, rule,
+        [&](std::uint64_t seed, std::size_t /*index*/) {
+          const Cell cell = run_cell(game, w_coop, 0.02, 0.25, 0.0, seed,
+                                     true);
+          return std::vector<double>{
+              static_cast<double>(cell.converged_cw.value_or(-1)),
+              static_cast<double>(cell.stable_from),
+              static_cast<double>(cell.recovery_stages)};
+        });
+    std::printf("replicated mid-grid cell (churn 0.02, PER_bad 0.25, "
+                "override: --ci-target X, --max-reps N):\n%s\n%s\n",
+                summary.stopping.summary().c_str(),
+                util::format_metric_summaries(summary.metrics).c_str());
+  }
+
   std::printf(
       "Expectation: every grid cell holds (or quickly returns to) W*\n"
       "despite the crash/rejoin, churn, bursty loss, and stale (lost)\n"

@@ -44,38 +44,61 @@ std::string ascii_bar(double value, double peak, int width = 48) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Figure 2: normalized global payoff U/C vs common CW — basic access",
       "paper Figure 2",
       "Series for n = 5/20/50; peak must sit at W_c* (Table II) and form a\n"
       "broad plateau (the paper's robustness observation).");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kBasic);
   const std::vector<int> ns{5, 20, 50};
 
-  util::CsvWriter csv("fig2_payoff_basic.csv", {"n", "w", "u_over_c"});
-  for (int n : ns) {
-    const game::EquilibriumFinder finder(game, n);
-    const int w_star = finder.efficient_cw();
-    const std::vector<int> grid = log_grid(2, 8 * w_star, 28);
+  // Each n-series is an independent analytical computation (the StageGame
+  // memo cache is thread-safe); fan them across --jobs and emit the CSV
+  // and tables in series order afterwards, so output is byte-identical
+  // for any jobs value.
+  struct Series {
+    int w_star = 0;
+    double peak_payoff = 0.0;
+    std::vector<int> grid;
     std::vector<double> payoff;
-    payoff.reserve(grid.size());
     double peak = 0.0;
-    for (int w : grid) {
+  };
+  std::vector<Series> series(ns.size());
+  bench::sweep(ns.size(), jobs, [&](std::size_t idx) {
+    const int n = ns[idx];
+    Series& s = series[idx];
+    const game::EquilibriumFinder finder(game, n);
+    s.w_star = finder.efficient_cw();
+    s.peak_payoff = game.normalized_global_payoff(s.w_star, n);
+    s.grid = log_grid(2, 8 * s.w_star, 28);
+    s.payoff.reserve(s.grid.size());
+    for (int w : s.grid) {
       const double v = game.normalized_global_payoff(w, n);
-      payoff.push_back(v);
-      peak = std::max(peak, v);
-      csv.add_row({static_cast<double>(n), static_cast<double>(w), v});
+      s.payoff.push_back(v);
+      s.peak = std::max(s.peak, v);
     }
+  });
 
-    std::printf("--- n = %d (W_c* = %d, U/C at peak = %.4f) ---\n", n, w_star,
-                game.normalized_global_payoff(w_star, n));
+  util::CsvWriter csv("fig2_payoff_basic.csv", {"n", "w", "u_over_c"});
+  for (std::size_t idx = 0; idx < ns.size(); ++idx) {
+    const int n = ns[idx];
+    const Series& s = series[idx];
+    for (std::size_t i = 0; i < s.grid.size(); ++i) {
+      csv.add_row({static_cast<double>(n), static_cast<double>(s.grid[i]),
+                   s.payoff[i]});
+    }
+    std::printf("--- n = %d (W_c* = %d, U/C at peak = %.4f) ---\n", n,
+                s.w_star, s.peak_payoff);
     util::TextTable table({"W", "U/C", "profile"});
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      table.add_row({std::to_string(grid[i]), util::fmt_double(payoff[i], 4),
-                     ascii_bar(payoff[i], peak)});
+    for (std::size_t i = 0; i < s.grid.size(); ++i) {
+      table.add_row({std::to_string(s.grid[i]),
+                     util::fmt_double(s.payoff[i], 4),
+                     ascii_bar(s.payoff[i], s.peak)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }

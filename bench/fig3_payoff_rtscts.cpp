@@ -41,54 +41,74 @@ std::string ascii_bar(double value, double peak, int width = 48) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Figure 3: normalized global payoff U/C vs common CW — RTS/CTS",
       "paper Figure 3",
       "Series for n = 5/20/50. Flatter than Figure 2: collisions cost only\n"
       "an RTS, so over-aggressive windows are barely punished.");
+  const std::size_t jobs = bench::jobs_option(argc, argv);
+  bench::print_jobs(jobs);
 
   const phy::Parameters params = phy::Parameters::paper();
   const game::StageGame game(params, phy::AccessMode::kRtsCts);
   const game::StageGame basic_game(params, phy::AccessMode::kBasic);
   const std::vector<int> ns{5, 20, 50};
 
-  util::CsvWriter csv("fig3_payoff_rtscts.csv", {"n", "w", "u_over_c"});
-  for (int n : ns) {
-    const game::EquilibriumFinder finder(game, n);
-    const int w_star = finder.efficient_cw();
-    const std::vector<int> grid = log_grid(2, 16 * w_star, 28);
+  // Each n-series (including its basic-access flatness counterpart) is an
+  // independent analytical computation; fan across --jobs, then emit CSV
+  // and tables in series order — byte-identical for any jobs value.
+  struct Series {
+    int w_star = 0;
+    double peak_payoff = 0.0;
+    std::vector<int> grid;
     std::vector<double> payoff;
     double peak = 0.0;
-    for (int w : grid) {
+    double keep_rts = 0.0;
+    double keep_basic = 0.0;
+  };
+  std::vector<Series> series(ns.size());
+  bench::sweep(ns.size(), jobs, [&](std::size_t idx) {
+    const int n = ns[idx];
+    Series& s = series[idx];
+    const game::EquilibriumFinder finder(game, n);
+    s.w_star = finder.efficient_cw();
+    s.peak_payoff = game.normalized_global_payoff(s.w_star, n);
+    s.grid = log_grid(2, 16 * s.w_star, 28);
+    for (int w : s.grid) {
       const double v = game.normalized_global_payoff(w, n);
-      payoff.push_back(v);
-      peak = std::max(peak, v);
-      csv.add_row({static_cast<double>(n), static_cast<double>(w), v});
+      s.payoff.push_back(v);
+      s.peak = std::max(s.peak, v);
     }
-
-    std::printf("--- n = %d (W_c* = %d, U/C at peak = %.4f) ---\n", n, w_star,
-                game.normalized_global_payoff(w_star, n));
-    util::TextTable table({"W", "U/C", "profile"});
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      table.add_row({std::to_string(grid[i]), util::fmt_double(payoff[i], 4),
-                     ascii_bar(payoff[i], peak)});
-    }
-    std::printf("%s\n", table.to_string().c_str());
-
     // Flatness comparison against Figure 2 at the same n: payoff retained
     // when operating at 4× the efficient window.
-    const int w4 = 4 * w_star;
-    const double keep_rts =
-        game.normalized_global_payoff(w4, n) /
-        game.normalized_global_payoff(w_star, n);
+    s.keep_rts = game.normalized_global_payoff(4 * s.w_star, n) /
+                 game.normalized_global_payoff(s.w_star, n);
     const game::EquilibriumFinder basic_finder(basic_game, n);
     const int wb = basic_finder.efficient_cw();
-    const double keep_basic =
-        basic_game.normalized_global_payoff(4 * wb, n) /
-        basic_game.normalized_global_payoff(wb, n);
+    s.keep_basic = basic_game.normalized_global_payoff(4 * wb, n) /
+                   basic_game.normalized_global_payoff(wb, n);
+  });
+
+  util::CsvWriter csv("fig3_payoff_rtscts.csv", {"n", "w", "u_over_c"});
+  for (std::size_t idx = 0; idx < ns.size(); ++idx) {
+    const int n = ns[idx];
+    const Series& s = series[idx];
+    for (std::size_t i = 0; i < s.grid.size(); ++i) {
+      csv.add_row({static_cast<double>(n), static_cast<double>(s.grid[i]),
+                   s.payoff[i]});
+    }
+    std::printf("--- n = %d (W_c* = %d, U/C at peak = %.4f) ---\n", n,
+                s.w_star, s.peak_payoff);
+    util::TextTable table({"W", "U/C", "profile"});
+    for (std::size_t i = 0; i < s.grid.size(); ++i) {
+      table.add_row({std::to_string(s.grid[i]),
+                     util::fmt_double(s.payoff[i], 4),
+                     ascii_bar(s.payoff[i], s.peak)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
     std::printf("payoff retained at 4x W_c*: rts-cts %.1f%% vs basic %.1f%%\n\n",
-                keep_rts * 100.0, keep_basic * 100.0);
+                s.keep_rts * 100.0, s.keep_basic * 100.0);
   }
   std::printf("Series written to fig3_payoff_rtscts.csv\n");
   std::printf(

@@ -101,17 +101,22 @@ int main(int argc, char** argv) {
   std::printf("%s\n", mobile_table.to_string().c_str());
 
   // 3. Replicated batch: measurement noise of one spatial configuration
-  //    (12-node chain at the converged window), 8 seed-streams fanned
-  //    across jobs, aggregated mean / stddev / 95% CI per metric.
+  //    (12-node chain at the converged window), seed-streams fanned
+  //    across jobs and streaming-reduced. Default: fixed 8 replications;
+  //    --ci-target X replicates (up to --max-reps, batches of 4) until
+  //    the success-fraction CI half-width falls below X.
   {
     std::vector<multihop::Vec2> pos;
     for (int i = 0; i < 12; ++i) pos.push_back({i * 200.0, 0.0});
     const multihop::Topology topo(pos, 250.0);
     multihop::MultihopConfig config;
     config.seed = 29;
+    const parallel::StoppingRule rule = bench::resolve_stopping(
+        bench::stopping_option(argc, argv), "success fraction", 8, 4);
     const auto batch = multihop::run_replicated(
-        config, topo, std::vector<int>(12, 15), 5000, 8, jobs);
-    std::printf("replicated 12-chain at W = 15 (8 replications):\n%s\n",
+        config, topo, std::vector<int>(12, 15), 5000, rule, jobs);
+    std::printf("replicated 12-chain at W = 15:\n%s\n%s\n",
+                batch.stopping.summary().c_str(),
                 util::format_metric_summaries(batch.metrics).c_str());
   }
   std::printf(

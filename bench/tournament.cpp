@@ -93,6 +93,27 @@ int main(int argc, char** argv) {
   std::printf("evolutionary basin boundary: TFT needs > %.0f%% initial "
               "share to fixate\n\n", 100.0 * 0.5 * (lo + hi));
 
+  // 5. Faulted mix under sequential stopping: the TFT-vs-deviant mix
+  //    replayed across fault trajectories (churn + lossy observation),
+  //    streamed until the payoff-A CI half-width meets --ci-target (or
+  //    the --max-reps budget, default 12, in batches of 4, runs out).
+  {
+    fault::FaultPlan plan;
+    plan.churn.crash_rate = 0.02;
+    plan.churn.recover_rate = 0.3;
+    plan.observation.loss_probability = 0.2;
+    game::Tournament faulted(game, n, 120, jobs);
+    faulted.set_fault_plan(plan, 0x70f7ULL);
+    const parallel::StoppingRule rule = bench::resolve_stopping(
+        bench::stopping_option(argc, argv), "payoff A", 12, 4);
+    const auto rep =
+        faulted.play_mix_replicated(roster[0], roster[3], n - 1, rule);
+    std::printf("faulted TFT-vs-deviant mix (churn 2%%, obs loss 20%%):\n"
+                "%s\n%s\n",
+                rep.stopping.summary().c_str(),
+                util::format_metric_summaries(rep.metrics).c_str());
+  }
+
   std::printf(
       "Expectation: the TFT and GTFT rows resist every mutant while the\n"
       "constant (never-punishing) population is INVADED by the\n"

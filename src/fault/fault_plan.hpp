@@ -6,7 +6,8 @@
 // detector rely on go missing or arrive garbled. A FaultPlan is the
 // declarative description of one such stress scenario — scripted events
 // plus stochastic rates — consumed by fault::FaultInjector (stage-driven
-// engines) and sim::Simulator (slot-driven, via SlotFaultPlan). Plans are
+// engines) and the slot-driven simulators sim::Simulator and
+// multihop::MultihopSimulator (via SlotFaultPlan). Plans are
 // plain data: copying one into every replication is how fault scenarios
 // stay deterministic under parallel fan-out.
 #pragma once
@@ -94,7 +95,8 @@ struct FaultPlan {
   void validate() const;
 };
 
-/// Slot-driven fault scenario for the single-hop simulator.
+/// Slot-driven fault scenario for the slot-level simulators (single-hop
+/// sim::Simulator and spatial multihop::MultihopSimulator).
 struct SlotFaultPlan {
   std::vector<SlotEvent> events;
   GilbertElliottConfig channel;

@@ -45,6 +45,17 @@ void Tournament::set_fault_plan(fault::FaultPlan plan, std::uint64_t seed) {
 
 MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
                                 int count_a) const {
+  // One injector per mix, seeded off the mix size: every play_mix call
+  // is self-contained, so fan-out order cannot perturb fault draws.
+  return play_mix_impl(
+      a, b, count_a,
+      parallel::stream_seed(fault_seed_, static_cast<std::uint64_t>(
+                                             std::max(count_a, 0))));
+}
+
+MixOutcome Tournament::play_mix_impl(const Contender& a, const Contender& b,
+                                     int count_a,
+                                     std::uint64_t injector_seed) const {
   if (count_a < 0 || count_a > n_) {
     throw std::invalid_argument("Tournament: count_a outside [0, n]");
   }
@@ -61,12 +72,8 @@ MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
   if (fault_plan_.empty()) {
     result = engine.play(stages_);
   } else {
-    // One injector per mix, seeded off the mix size: every play_mix call
-    // is self-contained, so fan-out order cannot perturb fault draws.
-    fault::FaultInjector injector(
-        fault_plan_, static_cast<std::size_t>(n_),
-        parallel::stream_seed(fault_seed_,
-                              static_cast<std::uint64_t>(count_a)));
+    fault::FaultInjector injector(fault_plan_, static_cast<std::size_t>(n_),
+                                  injector_seed);
     result = engine.play(stages_, &injector);
   }
 
@@ -82,6 +89,30 @@ MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
       outcome.payoff_b += u / std::max(n_ - count_a, 1);
     }
   }
+  return outcome;
+}
+
+MixReplicationOutcome Tournament::play_mix_replicated(
+    const Contender& a, const Contender& b, int count_a,
+    const parallel::StoppingRule& rule) const {
+  if (rule.max_reps == 0) {
+    throw std::invalid_argument("play_mix_replicated: rule.max_reps == 0");
+  }
+  static const std::vector<std::string> names{"payoff A", "payoff B"};
+  // The replication family hangs off the mix's own seed, so replication 0
+  // differs from the single-shot play_mix trajectory and families of
+  // different mixes stay disjoint.
+  const std::uint64_t mix_seed = parallel::stream_seed(
+      fault_seed_, static_cast<std::uint64_t>(std::max(count_a, 0)));
+  const parallel::ReplicationRunner runner({rule.max_reps, mix_seed, jobs_});
+  auto summary = runner.run_sequential(
+      names, rule, [&](std::uint64_t seed, std::size_t /*index*/) {
+        const MixOutcome o = play_mix_impl(a, b, count_a, seed);
+        return std::vector<double>{o.payoff_a, o.payoff_b};
+      });
+  MixReplicationOutcome outcome;
+  outcome.metrics = std::move(summary.metrics);
+  outcome.stopping = std::move(summary.stopping);
   return outcome;
 }
 

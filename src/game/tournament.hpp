@@ -26,6 +26,8 @@
 
 #include "game/repeated_game.hpp"
 #include "game/stage_game.hpp"
+#include "parallel/replication.hpp"
+#include "util/stats.hpp"
 
 namespace smac::game {
 
@@ -33,6 +35,15 @@ namespace smac::game {
 struct Contender {
   std::string name;
   std::function<std::unique_ptr<Strategy>()> make;
+};
+
+/// Streaming aggregate of replicated faulted plays of one mix: group
+/// payoffs summarized across fault-trajectory replications.
+struct MixReplicationOutcome {
+  /// Across-replication aggregates, columns "payoff A" and "payoff B".
+  std::vector<util::MetricSummary> metrics;
+  /// Replications executed, achieved CI half-width, and stop reason.
+  parallel::StoppingReport stopping;
 };
 
 /// Average discounted payoff per member of each group in one mix.
@@ -68,6 +79,18 @@ class Tournament {
   MixOutcome play_mix(const Contender& a, const Contender& b,
                       int count_a) const;
 
+  /// Replicates one mix under the active fault plan until `rule`'s CI
+  /// half-width target is met or rule.max_reps (must be > 0) is
+  /// exhausted, fanned over this tournament's jobs. Replication r plays
+  /// with injector seed stream_seed(stream_seed(fault_seed, count_a), r),
+  /// so the family is disjoint from the single-shot play_mix seed and
+  /// bit-identical for any jobs value. Without a fault plan every
+  /// replication is the same deterministic game — the CI collapses to 0
+  /// and the run stops at min_reps.
+  MixReplicationOutcome play_mix_replicated(
+      const Contender& a, const Contender& b, int count_a,
+      const parallel::StoppingRule& rule) const;
+
   /// True when a lone B-mutant among (n−1) A-residents earns no more than
   /// a member of the *pure* A-population (within `tolerance`, relative):
   /// deviating into B does not pay, so the A-population resists B.
@@ -87,6 +110,11 @@ class Tournament {
       const std::vector<Contender>& roster) const;
 
  private:
+  /// play_mix with an explicit injector seed (ignored when the plan is
+  /// empty) — the shared core of single-shot and replicated play.
+  MixOutcome play_mix_impl(const Contender& a, const Contender& b, int count_a,
+                           std::uint64_t injector_seed) const;
+
   const StageGame& game_;
   int n_;
   int stages_;

@@ -1,8 +1,7 @@
 #include "multihop/multihop_simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-
-#include "parallel/replication.hpp"
 
 namespace smac::multihop {
 
@@ -12,11 +11,25 @@ MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
       times_(config_.params.slot_times(config_.mode)),
       topology_(std::move(topology)),
       rng_(config_.seed),
-      active_(cw_profile.size(), 1) {
+      active_(cw_profile.size(), 1),
+      fault_channel_(config_.faults.channel,
+                     util::Rng(config_.seed ^ 0xb4d57a7eULL)),
+      fault_rng_(config_.seed ^ 0x6e0a2fc3ULL) {
   config_.params.validate();
+  config_.faults.validate();
   if (cw_profile.size() != topology_.node_count()) {
     throw std::invalid_argument("MultihopSimulator: profile/topology mismatch");
   }
+  for (const fault::SlotEvent& e : config_.faults.events) {
+    if (e.node >= cw_profile.size()) {
+      throw std::invalid_argument("MultihopSimulator: fault event node index");
+    }
+  }
+  // Events apply in (slot, declaration) order.
+  std::stable_sort(config_.faults.events.begin(), config_.faults.events.end(),
+                   [](const fault::SlotEvent& a, const fault::SlotEvent& b) {
+                     return a.slot < b.slot;
+                   });
   util::Rng master(config_.seed ^ 0xabcdef1234567890ULL);
   nodes_.reserve(cw_profile.size());
   for (int w : cw_profile) {
@@ -61,19 +74,34 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     std::uint64_t successes = 0;
     std::uint64_t sender_collisions = 0;
     std::uint64_t hidden_losses = 0;
+    std::uint64_t channel_losses = 0;
     std::uint64_t own_attempt_slots = 0;
     double local_time_us = 0.0;
   };
   std::vector<Tally> tally(n);
+  std::uint64_t bad_state_slots = 0;
+  const bool channel_on = config_.faults.channel.enabled();
 
   std::vector<std::size_t> transmitters;
   std::vector<std::size_t> receiver_of(n);
   std::vector<char> is_tx(n);
   // Per-slot outcome of each transmitter: 0 success, 1 sender collision,
-  // 2 hidden loss, 3 no receiver available.
+  // 2 hidden loss, 3 no receiver available, 4 clear but corrupted by the
+  // bursty channel.
   std::vector<int> outcome(n);
 
   for (std::uint64_t s = 0; s < slots; ++s) {
+    // Faults resolve at the slot boundary: scripted events first (through
+    // the same active_ mask as set_node_active), then one step of the
+    // bursty-loss chain (no draws when the plan is empty).
+    while (next_fault_event_ < config_.faults.events.size() &&
+           config_.faults.events[next_fault_event_].slot <= total_slots_) {
+      const fault::SlotEvent& e = config_.faults.events[next_fault_event_++];
+      active_[e.node] = e.kind == fault::FaultKind::kJoin ? 1 : 0;
+    }
+    fault_channel_.step();
+    if (fault_channel_.bad()) ++bad_state_slots;
+
     transmitters.clear();
     std::fill(is_tx.begin(), is_tx.end(), 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -122,19 +150,35 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
       outcome[i] = sender_contended ? 1 : (receiver_jammed ? 2 : 0);
     }
 
+    // Bursty-channel corruption of otherwise successful deliveries, in
+    // node-index order so the draw sequence is deterministic. Only runs
+    // with an enabled chain: the spatial simulator models no i.i.d.
+    // channel noise on its own.
+    if (channel_on) {
+      const double per_eff =
+          fault_channel_.effective_per(config_.params.packet_error_rate);
+      if (per_eff > 0.0) {
+        for (std::size_t i : transmitters) {
+          if (outcome[i] == 0 && fault_rng_.bernoulli(per_eff)) outcome[i] = 4;
+        }
+      }
+    }
+
     // Local channel time: σ if no transmitter in range (incl. self),
     // T_s if some in-range transmission succeeded, else T_c. A crashed
-    // node senses nothing and accrues no local time.
+    // node senses nothing and accrues no local time. A channel-corrupted
+    // frame (outcome 4) still occupies its full T_s airtime — as in the
+    // single-hop simulator, the loss is at the receiver, not on the air.
     for (std::size_t i = 0; i < n; ++i) {
       if (active_[i] == 0) continue;
       bool any_tx = is_tx[i] != 0;
-      bool any_success = any_tx && outcome[i] == 0;
+      bool any_success = any_tx && (outcome[i] == 0 || outcome[i] == 4);
       if (!any_success) {
         for (std::size_t j : transmitters) {
           if (j == i) continue;
           if (in_range(pos[j], pos[i], range)) {
             any_tx = true;
-            if (outcome[j] == 0) {
+            if (outcome[j] == 0 || outcome[j] == 4) {
               any_success = true;
               break;
             }
@@ -178,12 +222,21 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
           // Isolated: skip the slot without spending energy.
           nodes_[i].on_success();
           break;
+        case 4:
+          ++t.attempts;
+          ++t.channel_losses;
+          // No ACK arrives: the sender backs off exactly as after a
+          // collision, just as in the single-hop error path.
+          nodes_[i].on_collision();
+          break;
       }
     }
+    ++total_slots_;
   }
 
   MultihopResult result;
   result.slots = slots;
+  result.bad_state_slots = bad_state_slots;
   result.node.resize(n);
   std::uint64_t clear_attempts = 0;
   std::uint64_t clear_delivered = 0;
@@ -194,6 +247,7 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     out.successes = t.successes;
     out.sender_collisions = t.sender_collisions;
     out.hidden_losses = t.hidden_losses;
+    out.channel_losses = t.channel_losses;
     out.local_time_us = t.local_time_us;
     out.payoff_rate =
         t.local_time_us > 0.0
@@ -207,7 +261,11 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
         t.attempts ? static_cast<double>(t.sender_collisions) /
                          static_cast<double>(t.attempts)
                    : 0.0;
-    const std::uint64_t clear = t.successes + t.hidden_losses;
+    // A channel-corrupted frame was clear locally and unjammed at the
+    // receiver, so it belongs in the clear-sender denominator: p_hn then
+    // folds bursty-channel degradation together with hidden-node loss.
+    const std::uint64_t clear =
+        t.successes + t.hidden_losses + t.channel_losses;
     out.measured_p_hn =
         clear ? static_cast<double>(t.successes) / static_cast<double>(clear)
               : 1.0;
@@ -222,47 +280,67 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
   return result;
 }
 
+const std::vector<std::string>& replicated_metric_names() {
+  static const std::vector<std::string> names{
+      "global payoff rate", "aggregate p_hn", "success fraction",
+      "hidden-loss fraction", "mean tau"};
+  return names;
+}
+
+namespace {
+
+std::vector<double> replicated_metric_row(const MultihopResult& r) {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t hidden = 0;
+  double tau_sum = 0.0;
+  for (const MultihopNodeStats& s : r.node) {
+    attempts += s.attempts;
+    successes += s.successes;
+    hidden += s.hidden_losses;
+    tau_sum += s.measured_tau;
+  }
+  const double att = attempts ? static_cast<double>(attempts) : 1.0;
+  return {r.global_payoff_rate, r.aggregate_p_hn,
+          static_cast<double>(successes) / att,
+          static_cast<double>(hidden) / att,
+          r.node.empty() ? 0.0
+                         : tau_sum / static_cast<double>(r.node.size())};
+}
+
+}  // namespace
+
 MultihopBatch run_replicated(const MultihopConfig& config,
                              const Topology& topology,
                              const std::vector<int>& cw_profile,
                              std::uint64_t slots, std::size_t replications,
                              std::size_t jobs) {
-  const parallel::ReplicationRunner runner(
-      {replications, config.seed, jobs});
-  MultihopBatch batch;
-  batch.runs = runner.run(
+  parallel::StoppingRule fixed;  // target 0: stream all N, never stop early
+  fixed.max_reps = replications;
+  return run_replicated(config, topology, cw_profile, slots, fixed, jobs);
+}
+
+MultihopBatch run_replicated(const MultihopConfig& config,
+                             const Topology& topology,
+                             const std::vector<int>& cw_profile,
+                             std::uint64_t slots,
+                             const parallel::StoppingRule& rule,
+                             std::size_t jobs) {
+  if (rule.max_reps == 0) {
+    throw std::invalid_argument("run_replicated: rule.max_reps == 0");
+  }
+  const parallel::ReplicationRunner runner({rule.max_reps, config.seed, jobs});
+  auto summary = runner.run_sequential(
+      replicated_metric_names(), rule,
       [&](std::uint64_t seed, std::size_t /*index*/) {
         MultihopConfig replica = config;
         replica.seed = seed;
         MultihopSimulator simulator(replica, topology, cw_profile);
-        return simulator.run_slots(slots);
+        return replicated_metric_row(simulator.run_slots(slots));
       });
-
-  const std::vector<std::string> names{
-      "global payoff rate", "aggregate p_hn", "success fraction",
-      "hidden-loss fraction", "mean tau"};
-  std::vector<std::vector<double>> rows;
-  rows.reserve(batch.runs.size());
-  for (const MultihopResult& r : batch.runs) {
-    std::uint64_t attempts = 0;
-    std::uint64_t successes = 0;
-    std::uint64_t hidden = 0;
-    double tau_sum = 0.0;
-    for (const MultihopNodeStats& s : r.node) {
-      attempts += s.attempts;
-      successes += s.successes;
-      hidden += s.hidden_losses;
-      tau_sum += s.measured_tau;
-    }
-    const double att = attempts ? static_cast<double>(attempts) : 1.0;
-    rows.push_back({r.global_payoff_rate, r.aggregate_p_hn,
-                    static_cast<double>(successes) / att,
-                    static_cast<double>(hidden) / att,
-                    r.node.empty()
-                        ? 0.0
-                        : tau_sum / static_cast<double>(r.node.size())});
-  }
-  batch.metrics = util::summarize_replications(names, rows);
+  MultihopBatch batch;
+  batch.metrics = std::move(summary.metrics);
+  batch.stopping = std::move(summary.stopping);
   return batch;
 }
 

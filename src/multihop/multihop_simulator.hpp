@@ -23,7 +23,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "multihop/topology.hpp"
+#include "parallel/replication.hpp"
 #include "phy/parameters.hpp"
 #include "sim/dcf_node.hpp"
 #include "util/rng.hpp"
@@ -37,6 +40,15 @@ struct MultihopConfig {
   phy::AccessMode mode = phy::AccessMode::kRtsCts;
   double range_m = 250.0;
   std::uint64_t seed = 11;
+  /// Slot-level fault scenario: scripted crash/join events (slot indices
+  /// count from simulator construction, across windows — the same
+  /// convention as the single-hop simulator) plus an optional
+  /// Gilbert–Elliott bursty-loss chain. The chain corrupts otherwise
+  /// successful deliveries with PER_eff layered on
+  /// params.packet_error_rate; with the chain disabled (the default) no
+  /// extra RNG draws happen and behavior is unchanged — the spatial
+  /// simulator models no i.i.d. channel noise on its own.
+  fault::SlotFaultPlan faults;
 };
 
 /// Per-node measurement of one window.
@@ -45,6 +57,8 @@ struct MultihopNodeStats {
   std::uint64_t successes = 0;
   std::uint64_t sender_collisions = 0;  ///< contended within own range
   std::uint64_t hidden_losses = 0;      ///< clear locally, jammed at receiver
+  std::uint64_t channel_losses = 0;     ///< clear + unjammed, corrupted by
+                                        ///< the bursty channel
   double local_time_us = 0.0;           ///< Σ local slot durations
   double payoff_rate = 0.0;             ///< (n_s·g − n_e·e)/local time
   double measured_tau = 0.0;
@@ -54,6 +68,8 @@ struct MultihopNodeStats {
 
 struct MultihopResult {
   std::uint64_t slots = 0;
+  /// Slots spent in the Gilbert–Elliott Bad state (0 without a fault plan).
+  std::uint64_t bad_state_slots = 0;
   std::vector<MultihopNodeStats> node;
   double global_payoff_rate = 0.0;  ///< Σ_i payoff_rate_i
   /// Aggregate p_hn over all nodes (paper's degradation factor).
@@ -79,6 +95,9 @@ class MultihopSimulator {
   /// Crashes (active = false) or rejoins node i. An inactive node never
   /// transmits, freezes its backoff, accrues no local channel time (its
   /// payoff rate is 0), and is skipped when neighbors pick receivers.
+  /// Scripted fault-plan events use the same mechanism, so a scripted
+  /// crash at slot k equals a manual set_node_active(false) between a
+  /// k-slot window and its remainder.
   void set_node_active(std::size_t i, bool active);
   bool node_active(std::size_t i) const { return active_.at(i) != 0; }
 
@@ -88,6 +107,10 @@ class MultihopSimulator {
   /// Runs `slots` global slots and returns this window's measurements.
   MultihopResult run_slots(std::uint64_t slots);
 
+  /// Global slots simulated since construction (scripted SlotEvent
+  /// indices refer to this counter).
+  std::uint64_t total_slots() const noexcept { return total_slots_; }
+
  private:
   MultihopConfig config_;
   phy::SlotTimes times_;
@@ -96,17 +119,29 @@ class MultihopSimulator {
   util::Rng rng_;
   std::vector<std::uint8_t> active_;
   std::vector<std::size_t> receiver_scratch_;
+  fault::GilbertElliottChannel fault_channel_;
+  util::Rng fault_rng_;  ///< corruption draws (untouched without a chain)
+  std::size_t next_fault_event_ = 0;
+  std::uint64_t total_slots_ = 0;
 };
 
-/// A replicated Monte-Carlo batch of one multihop configuration.
+/// Streaming aggregate of a replicated Monte-Carlo batch of one multihop
+/// configuration. Individual MultihopResult windows are reduced on the
+/// fly (replication r ran with seed parallel::stream_seed(config.seed,
+/// r)); only the across-replication aggregates and the stopping report
+/// are retained, so memory is O(batch size) regardless of replication
+/// count. To inspect a single replication, rebuild it with
+/// config.seed = parallel::stream_seed(config.seed, r).
 struct MultihopBatch {
-  /// Per-replication windows, in replication-index order (replication r
-  /// ran with seed parallel::stream_seed(config.seed, r)).
-  std::vector<MultihopResult> runs;
   /// Across-replication aggregates: global payoff rate, aggregate p_hn,
   /// success/hidden-loss fractions, mean tau.
   std::vector<util::MetricSummary> metrics;
+  /// Replications executed, achieved CI half-width, and stop reason.
+  parallel::StoppingReport stopping;
 };
+
+/// Metric names of MultihopBatch::metrics, in column order.
+const std::vector<std::string>& replicated_metric_names();
 
 /// Runs `replications` independent copies of (config, topology,
 /// cw_profile) for `slots` slots each, fanned over `jobs` threads (1 =
@@ -117,6 +152,17 @@ MultihopBatch run_replicated(const MultihopConfig& config,
                              const Topology& topology,
                              const std::vector<int>& cw_profile,
                              std::uint64_t slots, std::size_t replications,
+                             std::size_t jobs = 1);
+
+/// Sequential-stopping variant: replicates in deterministic batches until
+/// `rule`'s CI half-width target is met or rule.max_reps (must be > 0) is
+/// exhausted. The first k replications are bit-identical to the fixed-N
+/// overload's; the stop point is jobs-invariant.
+MultihopBatch run_replicated(const MultihopConfig& config,
+                             const Topology& topology,
+                             const std::vector<int>& cw_profile,
+                             std::uint64_t slots,
+                             const parallel::StoppingRule& rule,
                              std::size_t jobs = 1);
 
 }  // namespace smac::multihop

@@ -1,5 +1,7 @@
 #include "parallel/replication.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace smac::parallel {
@@ -18,6 +20,91 @@ std::uint64_t stream_seed(std::uint64_t base_seed,
 util::Rng stream_rng(std::uint64_t base_seed, std::uint64_t index) noexcept {
   return util::Rng(stream_seed(base_seed, index));
 }
+
+std::string error_message(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kCiTarget:
+      return "ci-target";
+    case StopReason::kMaxReps:
+      return "max-reps";
+  }
+  return "unknown";
+}
+
+std::string StoppingReport::summary() const {
+  char buffer[256];
+  if (target_half_width > 0.0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "sequential stopping: %zu replications (%zu samples), "
+                  "metric \"%s\" %.0f%% CI +/- %.6g (target %.6g, stop: %s)",
+                  replications, samples, metric.c_str(), confidence * 100.0,
+                  achieved_half_width, target_half_width, to_string(reason));
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "fixed-N streaming: %zu replications (%zu samples), "
+                  "metric \"%s\" %.0f%% CI +/- %.6g",
+                  replications, samples, metric.c_str(), confidence * 100.0,
+                  achieved_half_width);
+  }
+  return buffer;
+}
+
+namespace detail {
+
+ResolvedStoppingRule resolve_stopping_rule(
+    const StoppingRule& rule, const std::vector<std::string>& metric_names,
+    std::size_t plan_replications) {
+  if (metric_names.empty()) {
+    throw std::invalid_argument("StoppingRule: no metrics to watch");
+  }
+  ResolvedStoppingRule r;
+  if (rule.metric.empty()) {
+    r.watched = 0;
+  } else {
+    std::size_t found = metric_names.size();
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      if (metric_names[m] == rule.metric) {
+        found = m;
+        break;
+      }
+    }
+    if (found == metric_names.size()) {
+      throw std::invalid_argument("StoppingRule: unknown metric \"" +
+                                  rule.metric + "\"");
+    }
+    r.watched = found;
+  }
+  if (!(rule.confidence > 0.0) || !(rule.confidence < 1.0)) {
+    throw std::invalid_argument("StoppingRule: confidence outside (0,1)");
+  }
+  if (!std::isfinite(rule.ci_half_width_target)) {
+    throw std::invalid_argument("StoppingRule: non-finite CI target");
+  }
+  r.max_reps = rule.max_reps != 0 ? rule.max_reps : plan_replications;
+  if (r.max_reps == 0) {
+    throw std::invalid_argument("StoppingRule: zero max_reps");
+  }
+  r.min_reps = rule.min_reps < 2 ? 2 : rule.min_reps;
+  if (r.min_reps > r.max_reps) r.min_reps = r.max_reps;
+  r.batch = rule.batch_size != 0 ? rule.batch_size : kDefaultStoppingBatch;
+  if (r.batch > r.max_reps) r.batch = r.max_reps;
+  r.target = rule.ci_half_width_target;
+  r.confidence = rule.confidence;
+  r.z = util::normal_quantile(0.5 + 0.5 * rule.confidence);
+  return r;
+}
+
+}  // namespace detail
 
 ReplicationRunner::ReplicationRunner(ReplicationPlan plan)
     : plan_(plan),

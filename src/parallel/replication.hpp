@@ -21,6 +21,15 @@
 // (3) makes the aggregate a pure function of the per-replication outputs.
 // Together: bit-identical results for jobs=1 and jobs=N, any N.
 //
+// Sequential stopping (run_sequential) extends the contract: batches are
+// fixed runs of consecutive indices, the stop criterion is evaluated on
+// the index-ordered aggregate at batch boundaries only, and seeds stay
+// stream_seed(B, r) — so the stop point is jobs-invariant and a stopped
+// run's first k replications are bit-identical to a fixed-N run's.
+// Reduction is streaming: rows fold into util::RunningStats as each batch
+// completes (O(batch) memory), with the same flop sequence as buffering
+// all rows and calling util::summarize_replications.
+//
 // SplitMix64 (rather than Rng::jump()) derives the streams because it is
 // O(1) random access — replication 999 does not require stepping through
 // the first 998 streams — and because feeding its output to Rng's own
@@ -28,8 +37,12 @@
 // even for adjacent indices.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <limits>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -76,6 +89,9 @@ struct ReplicationError {
   std::string message;
 };
 
+/// what() of a captured exception, or "non-standard exception".
+std::string error_message(const std::exception_ptr& error);
+
 /// Results of a batch run under FailurePolicy::kCollect: result slots in
 /// index order (failed slots default-constructed) plus the error records.
 template <class R>
@@ -94,19 +110,101 @@ struct ReplicationBatch {
   }
 };
 
+/// Sequential-stopping policy: replicate in deterministic batches until
+/// the watched metric's confidence-interval half-width falls below target
+/// or max_reps is exhausted. Stream seeds are unchanged — the first k
+/// replications of a stopped run are bit-identical to a fixed-N run of the
+/// same base seed — and the stop decision is a pure function of the
+/// index-ordered aggregate, so the stop point is identical at any jobs
+/// count.
+struct StoppingRule {
+  /// Watched metric name; empty selects the first metric.
+  std::string metric;
+  /// Absolute CI half-width to reach. <= 0 disables early stopping (the
+  /// run becomes a fixed-N streaming reduction over max_reps).
+  double ci_half_width_target = 0.0;
+  /// Two-sided confidence level of the watched interval, in (0, 1).
+  double confidence = 0.95;
+  /// Never stop before this many replications have been executed.
+  std::size_t min_reps = 2;
+  /// Hard replication ceiling; 0 falls back to plan.replications.
+  std::size_t max_reps = 0;
+  /// Replications per batch (the stop criterion is evaluated at batch
+  /// boundaries, and at most this many rows are buffered at once);
+  /// 0 = kDefaultStoppingBatch.
+  std::size_t batch_size = 0;
+};
+
+/// Batch size used when StoppingRule::batch_size is 0.
+inline constexpr std::size_t kDefaultStoppingBatch = 32;
+
+/// Why a sequential run stopped.
+enum class StopReason {
+  kCiTarget,  ///< watched half-width reached the target
+  kMaxReps,   ///< replication ceiling hit (or early stopping disabled)
+};
+
+const char* to_string(StopReason reason) noexcept;
+
+/// What a sequential (or streamed fixed-N) run actually did.
+struct StoppingReport {
+  std::size_t replications = 0;  ///< replication indices executed
+  std::size_t samples = 0;       ///< successful rows aggregated
+  std::size_t metric_index = 0;  ///< index of the watched metric
+  std::string metric;            ///< name of the watched metric
+  double achieved_half_width = 0.0;  ///< watched CI half-width at stop
+  double target_half_width = 0.0;    ///< the rule's target (0 = fixed-N)
+  double confidence = 0.95;
+  StopReason reason = StopReason::kMaxReps;
+
+  /// True when early stopping was armed and the target was reached.
+  bool target_met() const noexcept {
+    return target_half_width > 0.0 &&
+           achieved_half_width <= target_half_width;
+  }
+  /// One-line human-readable account (benches print this verbatim, so it
+  /// contains nothing scheduling-dependent).
+  std::string summary() const;
+};
+
 /// Summary of one replicated experiment whose replications each produce a
-/// row of named metrics.
+/// row of named metrics. Rows are *not* retained: they are reduced into
+/// per-metric running statistics as batches complete, so a 10^4-
+/// replication study holds at most one batch of rows in memory.
 struct ReplicationSummary {
   std::vector<std::string> metric_names;
-  /// rows[r][m]: metric m of replication r (index order). Under
-  /// FailurePolicy::kCollect a failed replication's row is all-NaN.
-  std::vector<std::vector<double>> rows;
   /// Across-replication mean / stddev / 95% CI / extrema per metric,
-  /// aggregated over the *successful* rows only.
+  /// aggregated in index order over the *successful* rows only.
   std::vector<util::MetricSummary> metrics;
   /// Failed replications (empty unless the plan collects failures).
   std::vector<ReplicationError> errors;
+  /// Replications executed, achieved precision, and the stop reason.
+  StoppingReport stopping;
+  /// Largest number of result rows held in memory at any instant —
+  /// bounded by the batch size, never by the replication count.
+  std::size_t peak_buffered_rows = 0;
 };
+
+namespace detail {
+
+/// StoppingRule with defaults resolved and inputs validated (throws
+/// std::invalid_argument on unknown metric, bad confidence, or bad
+/// targets).
+struct ResolvedStoppingRule {
+  std::size_t watched = 0;
+  std::size_t min_reps = 2;
+  std::size_t max_reps = 1;
+  std::size_t batch = kDefaultStoppingBatch;
+  double target = 0.0;
+  double confidence = 0.95;
+  double z = 0.0;  ///< normal quantile of (1 + confidence) / 2
+};
+
+ResolvedStoppingRule resolve_stopping_rule(
+    const StoppingRule& rule, const std::vector<std::string>& metric_names,
+    std::size_t plan_replications);
+
+}  // namespace detail
 
 /// Fans N independent replications of a callable experiment across a
 /// thread pool, honoring the determinism contract above.
@@ -185,40 +283,103 @@ class ReplicationRunner {
   }
 
   /// Runs a metric-row experiment — fn(seed, index) returns one double
-  /// per entry of `metric_names` — and aggregates mean / stddev / 95% CI
-  /// per metric across replications (in index order, so the aggregate is
-  /// itself deterministic). Under FailurePolicy::kCollect, failed
-  /// replications surface in `errors`, their rows become all-NaN, and the
-  /// aggregates cover the successful rows only.
+  /// per entry of `metric_names` — as a *streaming* reduction: rows are
+  /// folded into per-metric running statistics in index order as each
+  /// batch completes and then discarded, so memory stays O(batch size)
+  /// regardless of the replication count. The aggregates are bit-identical
+  /// to buffering every row and calling util::summarize_replications
+  /// (identical flop sequence), and bit-identical at any jobs value.
+  /// Under FailurePolicy::kCollect, failed replications surface in
+  /// `errors` and the aggregates cover the successful rows only.
   template <class Fn>
   ReplicationSummary run_summarized(std::vector<std::string> metric_names,
                                     Fn&& fn) const {
-    ReplicationSummary summary;
-    if (plan_.failure_policy == FailurePolicy::kCollect) {
-      auto batch = run_collect(std::forward<Fn>(fn));
-      summary.rows = std::move(batch.results);
-      summary.errors = std::move(batch.errors);
-      std::vector<std::vector<double>> good;
-      good.reserve(summary.rows.size());
-      std::size_t next_error = 0;
-      for (std::size_t i = 0; i < summary.rows.size(); ++i) {
-        if (next_error < summary.errors.size() &&
-            summary.errors[next_error].index == i) {
-          ++next_error;
-          summary.rows[i].assign(metric_names.size(),
-                                 std::numeric_limits<double>::quiet_NaN());
-        } else {
-          good.push_back(summary.rows[i]);
+    StoppingRule fixed;  // target 0: never stops early, streams all N
+    fixed.max_reps = plan_.replications;
+    return run_sequential(std::move(metric_names), fixed,
+                          std::forward<Fn>(fn));
+  }
+
+  /// Sequential-stopping replication: executes deterministic batches of
+  /// fn(seed, index) — seeds are stream_seed(base, index), identical to a
+  /// fixed-N run — and after each batch evaluates the watched metric's
+  /// CI half-width over the index-ordered aggregate, stopping as soon as
+  /// the rule's target is met (never before min_reps) or max_reps is
+  /// exhausted. Because batch boundaries and the aggregate are pure
+  /// functions of the replication indices, the stop point, the report,
+  /// and every summary are bit-identical at any jobs value; a stopped
+  /// run's k replications are exactly the first k of the fixed-N run.
+  /// Rows are reduced on the fly: memory is O(batch size).
+  template <class Fn>
+  ReplicationSummary run_sequential(std::vector<std::string> metric_names,
+                                    const StoppingRule& rule,
+                                    Fn&& fn) const {
+    const detail::ResolvedStoppingRule r = detail::resolve_stopping_rule(
+        rule, metric_names, plan_.replications);
+    ReplicationSummary out;
+    std::vector<util::RunningStats> acc(metric_names.size());
+    std::vector<std::vector<double>> batch_rows(r.batch);
+    std::vector<std::exception_ptr> batch_errors(r.batch);
+    std::unique_ptr<ThreadPool> pool;
+    if (jobs_ > 1 && r.max_reps > 1) pool = std::make_unique<ThreadPool>(jobs_);
+
+    std::size_t executed = 0;
+    StopReason reason = StopReason::kMaxReps;
+    while (executed < r.max_reps) {
+      const std::size_t count = std::min(r.batch, r.max_reps - executed);
+      auto one = [&](std::size_t k) {
+        batch_errors[k] = nullptr;
+        try {
+          const std::size_t index = executed + k;
+          batch_rows[k] = fn(stream_seed(plan_.base_seed, index), index);
+        } catch (...) {
+          batch_errors[k] = std::current_exception();
         }
+      };
+      if (!pool || count <= 1) {
+        for (std::size_t k = 0; k < count; ++k) one(k);
+      } else {
+        pool->for_each_index(count, one);
       }
-      summary.metrics = util::summarize_replications(metric_names, good);
-    } else {
-      summary.rows = run(std::forward<Fn>(fn));
-      summary.metrics =
-          util::summarize_replications(metric_names, summary.rows);
+      out.peak_buffered_rows = std::max(out.peak_buffered_rows, count);
+      // Reduce this batch in index order, then release the rows.
+      for (std::size_t k = 0; k < count; ++k) {
+        if (batch_errors[k]) {
+          if (plan_.failure_policy == FailurePolicy::kFailFast) {
+            std::rethrow_exception(batch_errors[k]);
+          }
+          out.errors.push_back(
+              {executed + k, error_message(batch_errors[k])});
+          continue;
+        }
+        const std::vector<double>& row = batch_rows[k];
+        if (row.size() != metric_names.size()) {
+          throw std::invalid_argument(
+              "run_sequential: row width != metric count");
+        }
+        for (std::size_t m = 0; m < row.size(); ++m) acc[m].add(row[m]);
+        batch_rows[k] = {};
+      }
+      executed += count;
+      if (r.target > 0.0 && executed >= r.min_reps &&
+          acc[r.watched].count() >= 2 &&
+          acc[r.watched].ci_halfwidth(r.z) <= r.target) {
+        reason = StopReason::kCiTarget;
+        break;
+      }
     }
-    summary.metric_names = std::move(metric_names);
-    return summary;
+
+    out.metrics = util::summaries_from_stats(metric_names, acc);
+    out.stopping.replications = executed;
+    out.stopping.samples = acc[r.watched].count();
+    out.stopping.metric_index = r.watched;
+    out.stopping.metric = metric_names[r.watched];
+    out.stopping.achieved_half_width = acc[r.watched].ci_halfwidth(r.z);
+    out.stopping.target_half_width = r.target;
+    out.stopping.confidence = r.confidence;
+    out.stopping.reason = reason;
+    out.metric_names = std::move(metric_names);
+    return out;
   }
 
  private:

@@ -247,38 +247,59 @@ SimResult Simulator::run_slots(std::uint64_t n) {
   return result;
 }
 
+const std::vector<std::string>& replicated_metric_names() {
+  static const std::vector<std::string> names{
+      "throughput", "collision fraction", "idle fraction",
+      "mean payoff rate", "payoff fairness",  "mean tau",
+      "mean p"};
+  return names;
+}
+
+namespace {
+
+std::vector<double> replicated_metric_row(const SimResult& r) {
+  const auto total = static_cast<double>(r.slots);
+  return {r.throughput,
+          static_cast<double>(r.collision_slots) / total,
+          static_cast<double>(r.idle_slots) / total,
+          util::mean_of(r.payoff_rate),
+          util::jain_fairness(r.payoff_rate),
+          util::mean_of(r.measured_tau),
+          util::mean_of(r.measured_p)};
+}
+
+}  // namespace
+
 SimBatch run_replicated(const SimConfig& config,
                         const std::vector<int>& cw_profile,
                         std::uint64_t slots, std::size_t replications,
                         std::size_t jobs) {
+  parallel::StoppingRule fixed;  // target 0: stream all N, never stop early
+  fixed.max_reps = replications;
+  return run_replicated(config, cw_profile, slots, fixed, jobs);
+}
+
+SimBatch run_replicated(const SimConfig& config,
+                        const std::vector<int>& cw_profile,
+                        std::uint64_t slots,
+                        const parallel::StoppingRule& rule,
+                        std::size_t jobs) {
+  if (rule.max_reps == 0) {
+    throw std::invalid_argument("run_replicated: rule.max_reps == 0");
+  }
   const parallel::ReplicationRunner runner(
-      {replications, config.seed, jobs});
-  SimBatch batch;
-  batch.runs = runner.run(
+      {rule.max_reps, config.seed, jobs});
+  auto summary = runner.run_sequential(
+      replicated_metric_names(), rule,
       [&](std::uint64_t seed, std::size_t /*index*/) {
         SimConfig replica = config;
         replica.seed = seed;
         Simulator simulator(replica, cw_profile);
-        return simulator.run_slots(slots);
+        return replicated_metric_row(simulator.run_slots(slots));
       });
-
-  const std::vector<std::string> names{
-      "throughput", "collision fraction", "idle fraction",
-      "mean payoff rate", "payoff fairness",  "mean tau",
-      "mean p"};
-  std::vector<std::vector<double>> rows;
-  rows.reserve(batch.runs.size());
-  for (const SimResult& r : batch.runs) {
-    const auto total = static_cast<double>(r.slots);
-    rows.push_back({r.throughput,
-                    static_cast<double>(r.collision_slots) / total,
-                    static_cast<double>(r.idle_slots) / total,
-                    util::mean_of(r.payoff_rate),
-                    util::jain_fairness(r.payoff_rate),
-                    util::mean_of(r.measured_tau),
-                    util::mean_of(r.measured_p)});
-  }
-  batch.metrics = util::summarize_replications(names, rows);
+  SimBatch batch;
+  batch.metrics = std::move(summary.metrics);
+  batch.stopping = std::move(summary.stopping);
   return batch;
 }
 

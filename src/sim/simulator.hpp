@@ -16,6 +16,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "parallel/replication.hpp"
 #include "phy/parameters.hpp"
 #include "sim/dcf_node.hpp"
 #include "util/rng.hpp"
@@ -135,15 +136,23 @@ class Simulator {
   std::uint64_t total_slots_ = 0;
 };
 
-/// A replicated Monte-Carlo batch of one simulator configuration.
+/// Streaming aggregate of a replicated Monte-Carlo batch of one simulator
+/// configuration. Individual SimResult windows are reduced on the fly
+/// (replication r ran with seed parallel::stream_seed(config.seed, r));
+/// only the across-replication aggregates and the stopping report are
+/// retained, so memory is O(batch size) regardless of replication count.
+/// To inspect a single replication, rebuild it: Simulator with
+/// config.seed = parallel::stream_seed(config.seed, r).
 struct SimBatch {
-  /// Per-replication windows, in replication-index order (replication r
-  /// ran with seed parallel::stream_seed(config.seed, r)).
-  std::vector<SimResult> runs;
   /// Across-replication aggregates: throughput, collision/idle fractions,
   /// mean payoff rate, Jain fairness of payoff, mean tau, mean p.
   std::vector<util::MetricSummary> metrics;
+  /// Replications executed, achieved CI half-width, and stop reason.
+  parallel::StoppingReport stopping;
 };
+
+/// Metric names of SimBatch::metrics, in column order.
+const std::vector<std::string>& replicated_metric_names();
 
 /// Runs `replications` independent copies of (config, cw_profile) for
 /// `slots` slots each, fanned over `jobs` threads (1 = serial inline,
@@ -153,6 +162,16 @@ struct SimBatch {
 SimBatch run_replicated(const SimConfig& config,
                         const std::vector<int>& cw_profile,
                         std::uint64_t slots, std::size_t replications,
+                        std::size_t jobs = 1);
+
+/// Sequential-stopping variant: replicates in deterministic batches until
+/// `rule`'s CI half-width target is met or rule.max_reps (must be > 0) is
+/// exhausted. The first k replications are bit-identical to the fixed-N
+/// overload's; the stop point is jobs-invariant.
+SimBatch run_replicated(const SimConfig& config,
+                        const std::vector<int>& cw_profile,
+                        std::uint64_t slots,
+                        const parallel::StoppingRule& rule,
                         std::size_t jobs = 1);
 
 }  // namespace smac::sim

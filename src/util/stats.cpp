@@ -155,6 +155,16 @@ std::vector<MetricSummary> summarize_replications(
     }
     for (std::size_t m = 0; m < row.size(); ++m) acc[m].add(row[m]);
   }
+  return summaries_from_stats(names, acc);
+}
+
+std::vector<MetricSummary> summaries_from_stats(
+    const std::vector<std::string>& names,
+    const std::vector<RunningStats>& acc) {
+  if (acc.size() != names.size()) {
+    throw std::invalid_argument(
+        "summaries_from_stats: accumulator count != metric count");
+  }
   std::vector<MetricSummary> out(names.size());
   for (std::size_t m = 0; m < names.size(); ++m) {
     out[m].name = names[m];

@@ -104,6 +104,17 @@ std::vector<MetricSummary> summarize_replications(
     const std::vector<std::string>& names,
     const std::vector<std::vector<double>>& rows);
 
+/// Snapshot of per-metric accumulators into MetricSummary records. The
+/// streaming counterpart of summarize_replications: a caller that feeds
+/// rows into per-metric RunningStats in index order (RunningStats::add per
+/// element) produces bit-identical summaries to buffering the rows and
+/// calling summarize_replications, because both execute the same sequence
+/// of floating-point operations. Throws std::invalid_argument when
+/// acc.size() != names.size().
+std::vector<MetricSummary> summaries_from_stats(
+    const std::vector<std::string>& names,
+    const std::vector<RunningStats>& acc);
+
 /// Renders summaries as a text table: metric, n, mean, stddev, 95% CI,
 /// min, max.
 std::string format_metric_summaries(const std::vector<MetricSummary>& metrics,

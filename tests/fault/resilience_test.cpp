@@ -203,11 +203,15 @@ TEST(FailurePolicy, SummarizedAggregatesSkipFailedRows) {
       });
   ASSERT_EQ(summary.errors.size(), 1u);
   EXPECT_EQ(summary.errors[0].index, 2u);
-  ASSERT_EQ(summary.rows.size(), 5u);
-  EXPECT_TRUE(std::isnan(summary.rows[2][0]));
-  // mean over the successful rows {0, 1, 3, 4} only
+  EXPECT_EQ(summary.errors[0].message, "boom");
+  // The streaming reduction drops failed replications entirely: the mean
+  // covers the successful rows {0, 1, 3, 4} only and the sample count
+  // reflects that.
   ASSERT_EQ(summary.metrics.size(), 1u);
+  EXPECT_EQ(summary.metrics[0].count, 4u);
   EXPECT_DOUBLE_EQ(summary.metrics[0].mean, 2.0);
+  EXPECT_EQ(summary.stopping.replications, 5u);
+  EXPECT_EQ(summary.stopping.samples, 4u);
 }
 
 TEST(DegradationReport, MergeAndSummary) {

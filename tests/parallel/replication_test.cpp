@@ -131,15 +131,30 @@ TEST(ReplicatedSimTest, SimBatchJobsInvariance) {
   const std::vector<int> profile{32, 64, 64, 64};
   const auto serial = sim::run_replicated(config, profile, 4000, 6, 1);
   const auto wide = sim::run_replicated(config, profile, 4000, 6, 4);
-  ASSERT_EQ(serial.runs.size(), 6u);
-  for (std::size_t r = 0; r < serial.runs.size(); ++r) {
-    EXPECT_EQ(std::memcmp(&serial.runs[r].throughput,
-                          &wide.runs[r].throughput, sizeof(double)),
-              0);
-    EXPECT_EQ(serial.runs[r].success_slots, wide.runs[r].success_slots);
-    EXPECT_EQ(serial.runs[r].collision_slots, wide.runs[r].collision_slots);
-  }
+  EXPECT_EQ(serial.stopping.replications, 6u);
+  EXPECT_EQ(wide.stopping.replications, 6u);
+  EXPECT_EQ(serial.stopping.samples, wide.stopping.samples);
   expect_metrics_bit_identical(serial.metrics, wide.metrics);
+}
+
+// The streaming batch keeps only aggregates; the documented way back to
+// one replication is re-running it from its stream seed. A 1-replication
+// batch's mean must therefore equal the directly reconstructed run.
+TEST(ReplicatedSimTest, SingleReplicationReconstructsFromStreamSeed) {
+  sim::SimConfig config;
+  config.seed = 2024;
+  const std::vector<int> profile{32, 64, 64, 64};
+  const auto batch = sim::run_replicated(config, profile, 4000, 1, 1);
+
+  sim::SimConfig replica = config;
+  replica.seed = parallel::stream_seed(config.seed, 0);
+  sim::Simulator simulator(replica, profile);
+  const sim::SimResult direct = simulator.run_slots(4000);
+  ASSERT_FALSE(batch.metrics.empty());
+  EXPECT_EQ(batch.metrics[0].name, "throughput");
+  EXPECT_EQ(std::memcmp(&batch.metrics[0].mean, &direct.throughput,
+                        sizeof(double)),
+            0);
 }
 
 TEST(ReplicatedSimTest, DifferentBaseSeedsDiffer) {
@@ -150,7 +165,7 @@ TEST(ReplicatedSimTest, DifferentBaseSeedsDiffer) {
   const std::vector<int> profile(4, 64);
   const auto batch_a = sim::run_replicated(a, profile, 4000, 3, 1);
   const auto batch_b = sim::run_replicated(b, profile, 4000, 3, 1);
-  EXPECT_NE(batch_a.runs[0].success_slots, batch_b.runs[0].success_slots);
+  EXPECT_NE(batch_a.metrics[0].mean, batch_b.metrics[0].mean);
 }
 
 TEST(ReplicatedMultihopTest, MultihopBatchJobsInvariance) {
@@ -164,16 +179,8 @@ TEST(ReplicatedMultihopTest, MultihopBatchJobsInvariance) {
                                                5, 1);
   const auto wide = multihop::run_replicated(config, topo, profile, 1500,
                                              5, 4);
-  ASSERT_EQ(serial.runs.size(), 5u);
-  for (std::size_t r = 0; r < serial.runs.size(); ++r) {
-    EXPECT_EQ(std::memcmp(&serial.runs[r].global_payoff_rate,
-                          &wide.runs[r].global_payoff_rate, sizeof(double)),
-              0);
-    for (std::size_t i = 0; i < serial.runs[r].node.size(); ++i) {
-      EXPECT_EQ(serial.runs[r].node[i].successes,
-                wide.runs[r].node[i].successes);
-    }
-  }
+  EXPECT_EQ(serial.stopping.replications, 5u);
+  EXPECT_EQ(wide.stopping.replications, 5u);
   expect_metrics_bit_identical(serial.metrics, wide.metrics);
 }
 
