@@ -71,6 +71,9 @@ inline void print_jobs(std::size_t jobs) {
 /// Sequential-stopping knobs for replicated experiments:
 ///   --ci-target X   stop once the watched metric's CI half-width <= X
 ///                   (0, the default, keeps the bench's fixed N)
+///   --ci-rel X      stop once half-width <= X · |running mean| — scale-
+///                   free, composes across metrics whose magnitudes differ
+///                   by orders; with both knobs, either target stops
 ///   --max-reps N    replication budget cap (0 = keep the bench default)
 /// Parsed into a parallel::StoppingRule template whose metric/confidence/
 /// min_reps/batch_size the bench chooses per table. Stop points are
@@ -96,6 +99,10 @@ inline parallel::StoppingRule stopping_option(int argc,
       rule.ci_half_width_target = parse_double(arg.c_str() + 12);
     } else if (arg == "--ci-target" && i + 1 < argc) {
       rule.ci_half_width_target = parse_double(argv[i + 1]);
+    } else if (arg.rfind("--ci-rel=", 0) == 0) {
+      rule.ci_rel_target = parse_double(arg.c_str() + 9);
+    } else if (arg == "--ci-rel" && i + 1 < argc) {
+      rule.ci_rel_target = parse_double(argv[i + 1]);
     } else if (arg.rfind("--max-reps=", 0) == 0) {
       rule.max_reps = parse_size(arg.c_str() + 11);
     } else if (arg == "--max-reps" && i + 1 < argc) {

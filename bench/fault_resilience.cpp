@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
               static_cast<double>(cell.recovery_stages)};
         });
     std::printf("replicated mid-grid cell (churn 0.02, PER_bad 0.25, "
-                "override: --ci-target X, --max-reps N):\n%s\n%s\n",
+                "override: --ci-target X, --ci-rel X, --max-reps N):\n%s\n%s\n",
                 summary.stopping.summary().c_str(),
                 util::format_metric_summaries(summary.metrics).c_str());
   }

@@ -32,6 +32,68 @@ void BM_SolveNetworkHeterogeneous(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveNetworkHeterogeneous)->Arg(5)->Arg(20)->Arg(50)->Arg(100);
 
+// A profile of n windows drawn from k distinct values, interleaved so the
+// class structure is invisible to a solver that doesn't look for it.
+std::vector<int> class_mixed_profile(int n, int k) {
+  static const int kWindows[] = {16, 64, 256, 1024, 48, 512};
+  std::vector<int> profile(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    profile[static_cast<std::size_t>(i)] = kWindows[i % k];
+  }
+  return profile;
+}
+
+void BM_SolveCollapsed(benchmark::State& state) {
+  // The symmetry-collapsed kernel: k fixed-point equations regardless of n.
+  const auto profile = class_mixed_profile(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::try_solve_network(profile, 6));
+  }
+}
+BENCHMARK(BM_SolveCollapsed)
+    ->Args({20, 1})->Args({20, 3})->Args({50, 3})->Args({100, 3})
+    ->Args({100, 6})->Args({200, 3});
+
+void BM_SolveFull(benchmark::State& state) {
+  // The pre-collapse reference kernel: one equation per node. The ratio
+  // against BM_SolveCollapsed at the same (n, k) is the tentpole speedup.
+  const auto profile = class_mixed_profile(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::try_solve_network_full(profile, 6));
+  }
+}
+BENCHMARK(BM_SolveFull)
+    ->Args({20, 1})->Args({20, 3})->Args({50, 3})->Args({100, 3})
+    ->Args({100, 6})->Args({200, 3});
+
+void BM_SolveColdStart(benchmark::State& state) {
+  // Baseline for the warm-start comparison: every solve from the
+  // canonical cold start.
+  const auto profile = class_mixed_profile(50, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::try_solve_network(profile, 6));
+  }
+}
+BENCHMARK(BM_SolveColdStart);
+
+void BM_SolveWarmStart(benchmark::State& state) {
+  // Warm-started re-solve of a *neighboring* profile (one node nudged one
+  // window step), seeded with the previous solution's τ — the
+  // best-response inner loop's access pattern.
+  const auto profile = class_mixed_profile(50, 3);
+  auto nudged = profile;
+  nudged[0] = profile[0] + 8;
+  const auto base = analytical::try_solve_network(profile, 6);
+  analytical::SolverOptions opts;
+  opts.initial_tau = base.state.tau;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytical::try_solve_network(nudged, 6, opts));
+  }
+}
+BENCHMARK(BM_SolveWarmStart);
+
 void BM_SolveNetworkDampingAblation(benchmark::State& state) {
   const double damping = static_cast<double>(state.range(0)) / 100.0;
   const std::vector<int> profile(20, 32);

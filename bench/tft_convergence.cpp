@@ -155,7 +155,7 @@ int main(int argc, char** argv) {
             sim_result.converged_cw == model_result.converged_cw ? 1.0 : 0.0};
       });
   std::printf("Replicated convergence (override: --ci-target X, "
-              "--max-reps N):\n%s\n%s\n",
+              "--ci-rel X, --max-reps N):\n%s\n%s\n",
               summary.stopping.summary().c_str(),
               util::format_metric_summaries(summary.metrics).c_str());
 

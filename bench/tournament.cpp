@@ -95,8 +95,9 @@ int main(int argc, char** argv) {
 
   // 5. Faulted mix under sequential stopping: the TFT-vs-deviant mix
   //    replayed across fault trajectories (churn + lossy observation),
-  //    streamed until the payoff-A CI half-width meets --ci-target (or
-  //    the --max-reps budget, default 12, in batches of 4, runs out).
+  //    streamed until the payoff-A CI half-width meets --ci-target or
+  //    --ci-rel (or the --max-reps budget, default 12, in batches of 4,
+  //    runs out).
   {
     fault::FaultPlan plan;
     plan.churn.crash_rate = 0.02;
@@ -112,6 +113,24 @@ int main(int argc, char** argv) {
                 "%s\n%s\n",
                 rep.stopping.summary().c_str(),
                 util::format_metric_summaries(rep.metrics).c_str());
+  }
+
+  // The whole tournament routes its heterogeneous solves through one
+  // class-canonical cache (src/analytical/solver_cache.hpp): repeated
+  // games replay profiles stage after stage, and mixes that permute the
+  // same window multiset collapse onto one key. The hit rate is the
+  // fraction of stage evaluations the symmetry collapse deduplicated.
+  {
+    const analytical::SolveCacheStats stats = game.solve_cache_stats();
+    const std::uint64_t lookups = stats.hits + stats.misses;
+    std::printf("solve cache: %llu lookups, %llu hits (%.1f%%), "
+                "%zu distinct class profiles\n\n",
+                static_cast<unsigned long long>(lookups),
+                static_cast<unsigned long long>(stats.hits),
+                lookups != 0 ? 100.0 * static_cast<double>(stats.hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0,
+                stats.size);
   }
 
   std::printf(

@@ -3,11 +3,23 @@
 // Couples each node's backoff chain τ_i = τ(W_i, p_i) with the channel
 // feedback p_i = 1 − Π_{j≠i}(1 − τ_j) (paper eqs. 2–3): 2n equations in
 // (τ_1..τ_n, p_1..p_n). Nodes may hold *different* contention windows —
-// the selfish setting the paper models — so no symmetry reduction is
-// assumed in the general solver; a fast scalar path handles the
-// homogeneous case exactly.
+// the selfish setting the paper models — but almost every profile the
+// game layers produce has only a handful of *distinct* windows (TFT
+// trajectories converge to a common W; deviation tests are one deviant
+// against n − 1 conformers). The solver therefore collapses the profile
+// into k symmetry classes of identical (W, multiplicity m) and iterates
+// the k-dimensional system
+//
+//   p_c = 1 − (1 − τ_c)^(m_c − 1) · Π_{c'≠c} (1 − τ_{c'})^{m_{c'}}
+//
+// expanding back to per-node vectors afterwards — O(k) per iteration
+// instead of O(n), identical fixed point (nodes of one class are
+// exchangeable, so the solution is class-symmetric). The k = 1 case
+// delegates to the scalar Brent path; the pre-collapse full-dimension
+// kernel is kept as try_solve_network_full for validation.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/fixed_point.hpp"
@@ -27,6 +39,14 @@ struct SolverOptions {
   double damping = 0.5;
   double tolerance = 1e-13;
   int max_iterations = 20000;
+  /// Optional warm start: per-node (size n) or per-class (size k) initial
+  /// τ, tried as the first ladder rung before the canonical starts. Sizes
+  /// that match neither are ignored. A warm start changes only the
+  /// iteration path, never the fixed point beyond the tolerance — but the
+  /// last-ulp bits of the result may differ from a cold solve, so callers
+  /// feeding bit-identical caches must stick to the canonical (empty)
+  /// start; see NetworkSolveCache.
+  std::vector<double> initial_tau;
 };
 
 /// Outcome classification of the non-throwing solver entry points.
@@ -50,8 +70,11 @@ struct SolveDiagnostics {
   int iterations = 0;      ///< total across every ladder rung attempted
   int retries = 0;         ///< rungs attempted beyond the first
   double residual = 0.0;   ///< residual of the returned state
-  /// Rung that produced the returned state: "damped", "redamped",
-  /// "restart", "bisection", or "invalid" (bad inputs).
+  /// Rung that produced the returned state: "warm" (caller's initial_tau),
+  /// "seeded" (homogeneous-mean start), "damped", "redamped", "restart",
+  /// "polish" (continuation from the best iterate of the earlier rungs),
+  /// "bisection"/"brent"/"closed-form" (scalar k = 1 path), or "invalid"
+  /// (bad inputs).
   const char* method = "damped";
 };
 
@@ -71,17 +94,58 @@ struct TryTauResult {
   SolveDiagnostics diagnostics;
 };
 
+/// Symmetry-class decomposition of a contention-window profile: the
+/// distinct windows in ascending order, their multiplicities, and the
+/// node → class map. The canonical (sorted) ordering makes every
+/// permutation of a profile collapse to the same class system — the basis
+/// of both the solver's O(k) iteration and the cache's permutation hits.
+struct ClassProfile {
+  std::vector<int> window;             ///< distinct windows, ascending
+  std::vector<int> multiplicity;       ///< same length as window
+  std::vector<std::int32_t> class_of;  ///< node index → class index
+
+  std::size_t node_count() const noexcept { return class_of.size(); }
+  std::size_t class_count() const noexcept { return window.size(); }
+};
+
+/// Builds the class decomposition of `w` (any profile, no validation).
+ClassProfile classify_profile(const std::vector<int>& w);
+
+/// Expands a class-space solution (tau/p of size k) to per-node vectors
+/// in the original node order. Nodes of one class get bitwise-identical
+/// values, so solve_network(perm(w)) == perm(solve_network(w)) exactly.
+NetworkState expand_classes(const NetworkState& class_state,
+                            const ClassProfile& classes);
+
+/// Class-space solve: the retry ladder run on the collapsed k-dimensional
+/// system. The returned state's tau/p have one entry per *class* (use
+/// expand_classes for per-node vectors). Inputs are assumed valid
+/// (non-empty classes, windows >= 1, max_stage >= 0, PER in [0, 1)).
+TrySolveResult try_solve_classes(const ClassProfile& classes, int max_stage,
+                                 const SolverOptions& opts = {},
+                                 double packet_error_rate = 0.0);
+
 /// Non-throwing heterogeneous solve with a retry ladder. Never throws and
 /// never returns non-finite values: on non-convergence it escalates —
-/// stronger damping, restart from a high-collision initial point, and (for
-/// homogeneous profiles) a bisection fallback — and reports how far it got
-/// in the diagnostics. Invalid inputs (empty profile, w < 1, PER outside
-/// [0, 1)) yield kFailed with an empty state instead of throwing.
+/// a homogeneous-mean seeded start, stronger damping, and a restart from
+/// a high-collision initial point — and reports how far it got in the
+/// diagnostics. Invalid inputs (empty profile, w < 1, PER outside [0, 1))
+/// yield kFailed with an empty state instead of throwing.
 /// Sweeps and repeated games should prefer this entry point; the throwing
 /// solve_network below delegates here.
 TrySolveResult try_solve_network(const std::vector<int>& w, int max_stage,
                                  const SolverOptions& opts = {},
                                  double packet_error_rate = 0.0);
+
+/// Pre-collapse reference kernel: the full 2n-dimensional damped ladder
+/// iterating one equation per *node*. Kept for validation — tests and
+/// bench_solver_json assert the collapsed kernel agrees to <= 1e-12 —
+/// and for profiling the collapse win. Same contract as
+/// try_solve_network (initial_tau honored per node when sized n).
+TrySolveResult try_solve_network_full(const std::vector<int>& w,
+                                      int max_stage,
+                                      const SolverOptions& opts = {},
+                                      double packet_error_rate = 0.0);
 
 /// Non-throwing homogeneous τ: Brent first, plain bisection as the
 /// fallback rung (the bracket [0, 1] always holds a sign change). Invalid

@@ -1,32 +1,105 @@
 #include "analytical/solver_cache.hpp"
 
+#include <algorithm>
+
 namespace smac::analytical {
+
+namespace {
+
+/// SplitMix64-style avalanche: mixes each key component into the running
+/// hash with full 64-bit diffusion (vector hashing via std::hash would
+/// need a loop anyway; this keeps the combine explicit and portable).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+bool valid_solve_inputs(const std::vector<int>& w, int max_stage,
+                        double per) {
+  const bool windows_valid =
+      std::all_of(w.begin(), w.end(), [](int wi) { return wi >= 1; });
+  return !w.empty() && windows_valid && max_stage >= 0 && per >= 0.0 &&
+         per < 1.0;
+}
+
+}  // namespace
+
+std::size_t NetworkSolveCache::KeyHash::operator()(
+    const Key& key) const noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = mix(h, static_cast<std::uint64_t>(key.window.size()));
+  for (std::size_t c = 0; c < key.window.size(); ++c) {
+    h = mix(h, static_cast<std::uint64_t>(key.window[c]));
+    h = mix(h, static_cast<std::uint64_t>(key.multiplicity[c]));
+  }
+  h = mix(h, static_cast<std::uint64_t>(key.max_stage));
+  std::uint64_t per_bits = 0;
+  static_assert(sizeof(per_bits) == sizeof(key.packet_error_rate));
+  __builtin_memcpy(&per_bits, &key.packet_error_rate, sizeof(per_bits));
+  h = mix(h, per_bits);
+  return static_cast<std::size_t>(h);
+}
 
 NetworkSolveCache::NetworkSolveCache(SolverOptions opts,
                                      std::size_t max_entries)
-    : opts_(opts), max_entries_(max_entries) {}
+    : opts_(std::move(opts)), max_entries_(max_entries) {
+  // Cached values must be pure functions of the key; a caller-supplied
+  // warm start would make them depend on who populated the entry first.
+  opts_.initial_tau.clear();
+}
 
 TrySolveResult NetworkSolveCache::solve(const std::vector<int>& w,
                                         int max_stage,
                                         double packet_error_rate) const {
-  Key key{w, max_stage, packet_error_rate};
+  if (!valid_solve_inputs(w, max_stage, packet_error_rate)) {
+    // Invalid inputs are not worth an entry: report the miss and return
+    // the same kFailed/"invalid" result try_solve_network produces.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++misses_;
+    }
+    return try_solve_network(w, max_stage, opts_, packet_error_rate);
+  }
+
+  ClassProfile classes = classify_profile(w);
+  Key key{classes.window, classes.multiplicity, max_stage,
+          packet_error_rate};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
       ++hits_;
-      return it->second;
+      TrySolveResult out;
+      out.state = expand_classes(it->second.state, classes);
+      out.diagnostics = it->second.diagnostics;
+      return out;
     }
-    ++misses_;
   }
   // Solve outside the lock: concurrent misses on the same key may both
-  // compute, but the solver is deterministic so they agree.
-  TrySolveResult result =
-      try_solve_network(w, max_stage, opts_, packet_error_rate);
+  // compute, but the class solve is deterministic (canonical start, no
+  // warm hints) so they agree bitwise and insert order cannot matter.
+  TrySolveResult collapsed =
+      try_solve_classes(classes, max_stage, opts_, packet_error_rate);
+  TrySolveResult out;
+  out.state = expand_classes(collapsed.state, classes);
+  out.diagnostics = collapsed.diagnostics;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (cache_.size() < max_entries_) {
-    cache_.emplace(std::move(key), result);
+  // Hit/miss is classified here, not at lookup: when two workers race on
+  // the same fresh key, the loser observes the winner's entry and counts
+  // a hit — exactly the serial-order tally, so the stats a bench prints
+  // stay byte-identical at any --jobs (as long as max_entries isn't hit;
+  // past capacity the insertion set becomes schedule-dependent).
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+  } else {
+    ++misses_;
+    if (cache_.size() < max_entries_) {
+      cache_.emplace(std::move(key), std::move(collapsed));
+    }
   }
-  return result;
+  return out;
 }
 
 std::size_t NetworkSolveCache::size() const {
@@ -42,6 +115,11 @@ std::uint64_t NetworkSolveCache::hits() const {
 std::uint64_t NetworkSolveCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+SolveCacheStats NetworkSolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {cache_.size(), hits_, misses_};
 }
 
 void NetworkSolveCache::clear() {

@@ -3,52 +3,84 @@
 // Equilibrium sweeps, repeated games, and tournaments revisit the same
 // contention-window profiles thousands of times (TFT trajectories spend
 // most stages on one of a handful of profiles). solve_network resolves
-// each call from scratch; this cache keys the full TrySolveResult on
-// (profile, max_stage, PER) — the generalization of the mutex-guarded
-// homogeneous memo in game::StageGame — so concurrent tournament workers
-// and repeated-game engines share solutions safely.
+// each call from scratch; this cache memoizes class-space solutions on
+// the *canonical symmetry-class key* (sorted distinct windows +
+// multiplicities, max_stage, PER) in a hashed container — so concurrent
+// tournament workers and repeated-game engines share solutions safely,
+// and every permutation of a solved profile is a hit (deviation scans
+// that move the deviant's seat, tournament mixes in different orders).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <mutex>
-#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "analytical/fixed_point_solver.hpp"
 
 namespace smac::analytical {
 
-/// Mutex-guarded memo over try_solve_network.
+/// Monotone counters of one cache's traffic, read in a single lock.
+struct SolveCacheStats {
+  std::size_t size = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Mutex-guarded memo over try_solve_classes, expanded per node on return.
 ///
 /// SolverOptions are fixed per cache instance (set at construction) and
 /// deliberately excluded from the key: one cache serves one model
-/// configuration, which is how StageGame uses it. Insertion stops at
-/// `max_entries` (lookups still hit), bounding memory on adversarial
-/// profile streams; the solver is deterministic, so a concurrent miss on
-/// the same key recomputes the identical value.
+/// configuration, which is how StageGame uses it. Any initial_tau warm
+/// start in the options is stripped: cached values must be pure functions
+/// of the key, or insert order under concurrency would make last-ulp bits
+/// scheduling-dependent and break the bit-identical-at-any---jobs
+/// contract. Insertion stops at `max_entries` (lookups still hit),
+/// bounding memory on adversarial profile streams; the solver is
+/// deterministic, so a concurrent miss on the same key recomputes the
+/// identical value.
 class NetworkSolveCache {
  public:
   explicit NetworkSolveCache(SolverOptions opts = {},
                              std::size_t max_entries = 1 << 16);
 
-  /// Cached equivalent of try_solve_network(w, max_stage, opts, per).
+  /// Cached equivalent of try_solve_network(w, max_stage, opts, per) —
+  /// bitwise equal to the direct call (both run the collapsed kernel on
+  /// the canonical class system).
   TrySolveResult solve(const std::vector<int>& w, int max_stage,
                        double packet_error_rate) const;
 
   std::size_t size() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  SolveCacheStats stats() const;
   void clear();
 
  private:
-  using Key = std::tuple<std::vector<int>, int, double>;
+  /// Canonical class key: (distinct windows asc, multiplicities,
+  /// max_stage, PER). Profiles that are permutations of each other
+  /// collapse to the same key; the per-call ClassProfile::class_of map
+  /// carries the expansion back to the caller's node order.
+  struct Key {
+    std::vector<int> window;
+    std::vector<int> multiplicity;
+    int max_stage = 0;
+    double packet_error_rate = 0.0;
+
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
 
   SolverOptions opts_;
   std::size_t max_entries_;
   mutable std::mutex mutex_;
-  mutable std::map<Key, TrySolveResult> cache_;
+  /// Values are *class-space* TrySolveResults (tau/p sized k, not n):
+  /// compact, and one entry serves every permutation and every node
+  /// count-preserving relabeling of the profile.
+  mutable std::unordered_map<Key, TrySolveResult, KeyHash> cache_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
 };

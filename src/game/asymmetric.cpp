@@ -44,11 +44,25 @@ std::size_t AsymmetricGame::class_index(std::size_t player) const {
 
 std::vector<double> AsymmetricGame::utility_rates(
     const std::vector<int>& w) const {
+  return utility_rates_warm(w, nullptr);
+}
+
+std::vector<double> AsymmetricGame::utility_rates_warm(
+    const std::vector<int>& w, std::vector<double>* warm) const {
   if (w.size() != class_of_.size()) {
     throw std::invalid_argument("AsymmetricGame: profile size mismatch");
   }
-  const analytical::NetworkState state =
-      analytical::solve_network(w, params_.max_backoff_stage);
+  for (const int wi : w) {
+    if (wi < 1) throw std::invalid_argument("AsymmetricGame: window < 1");
+  }
+  analytical::SolverOptions opts;
+  if (warm) opts.initial_tau = *warm;
+  const analytical::TrySolveResult solved =
+      analytical::try_solve_network(w, params_.max_backoff_stage, opts);
+  const analytical::NetworkState& state = solved.state;
+  if (warm && analytical::usable(solved.diagnostics.status)) {
+    *warm = state.tau;
+  }
   const analytical::ChannelMetrics metrics =
       analytical::channel_metrics(state.tau, params_, mode_);
   std::vector<double> u(w.size());
@@ -112,10 +126,14 @@ int AsymmetricGame::best_response(const std::vector<int>& w,
     throw std::invalid_argument("AsymmetricGame: player out of range");
   }
   std::vector<int> profile = w;
+  // Chain each candidate's solution into the next solve: the scan moves
+  // one player's window while n − 1 stay fixed, so consecutive fixed
+  // points are a warm start apart.
+  std::vector<double> warm;
   const auto r = util::ternary_int_max(
       [&](std::int64_t candidate) {
         profile[player] = static_cast<int>(candidate);
-        return utility_rates(profile)[player];
+        return utility_rates_warm(profile, &warm)[player];
       },
       1, params_.w_max);
   return static_cast<int>(r.x);

@@ -75,6 +75,15 @@ class AsymmetricGame {
                                             int max_rounds = 100) const;
 
  private:
+  /// utility_rates with an optional warm-start slot: when `warm` is
+  /// non-null, its contents seed the solver (SolverOptions::initial_tau)
+  /// and the solved τ is written back — best-response scans step the
+  /// deviant's window by small amounts, so consecutive solves start one
+  /// damped iteration from each other. Serial callers only; warm-started
+  /// results must not feed shared caches.
+  std::vector<double> utility_rates_warm(const std::vector<int>& w,
+                                         std::vector<double>* warm) const;
+
   phy::Parameters params_;
   phy::AccessMode mode_;
   std::vector<PlayerClass> classes_;

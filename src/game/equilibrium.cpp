@@ -23,6 +23,21 @@ int EquilibriumFinder::efficient_cw() const {
   return *cached_efficient_;
 }
 
+int EquilibriumFinder::efficient_cw_from(int lo) const {
+  if (cached_efficient_) return *cached_efficient_;
+  const int w_max = game_.params().w_max;
+  if (lo <= 1 || lo > w_max) return efficient_cw();
+  auto u = [&](std::int64_t w) {
+    return game_.homogeneous_utility_rate(static_cast<int>(w), n_);
+  };
+  // The bracket premise: the peak is not left of lo. Unimodality makes
+  // this checkable at the edge alone.
+  if (u(lo - 1) > u(lo)) return efficient_cw();
+  const auto r = util::ternary_int_max(u, lo, w_max);
+  cached_efficient_ = static_cast<int>(r.x);
+  return *cached_efficient_;
+}
+
 std::optional<int> EquilibriumFinder::minimum_viable_cw() const {
   // u(w) > 0 ⇔ (1−p(w))·g > e; p decreases in w, so the sign of u is
   // monotone in w: binary-search the first positive window.

@@ -13,9 +13,16 @@ StageGame::StageGame(phy::Parameters params, phy::AccessMode mode)
 
 std::vector<double> StageGame::utility_rates(const std::vector<int>& w) const {
   if (w.empty()) throw std::invalid_argument("StageGame: empty profile");
-  const analytical::NetworkState state = analytical::solve_network(
-      w, params_.max_backoff_stage, {}, params_.packet_error_rate);
-  return analytical::utility_rates(state, params_, mode_);
+  for (const int wi : w) {
+    if (wi < 1) throw std::invalid_argument("StageGame: window < 1");
+  }
+  // Routed through the canonical solve cache: repeated games replay the
+  // same profile stage after stage, and deviation scans revisit
+  // permutations of one-deviant profiles — all of which collapse to a
+  // handful of class keys.
+  const analytical::TrySolveResult solved = solve_cache_.solve(
+      w, params_.max_backoff_stage, params_.packet_error_rate);
+  return analytical::utility_rates(solved.state, params_, mode_);
 }
 
 std::vector<double> StageGame::stage_utilities(

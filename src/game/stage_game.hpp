@@ -70,6 +70,14 @@ class StageGame {
   /// Normalized global payoff U/C (Figures 2–3 y-axis).
   double normalized_global_payoff(int w, int n) const;
 
+  /// Traffic counters of the shared heterogeneous solve cache (both
+  /// utility_rates and try_stage_utilities route through it); benches
+  /// print these to show how much of a run the class-canonical key
+  /// deduplicates.
+  analytical::SolveCacheStats solve_cache_stats() const {
+    return solve_cache_.stats();
+  }
+
  private:
   phy::Parameters params_;
   phy::AccessMode mode_;

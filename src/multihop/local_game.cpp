@@ -14,17 +14,26 @@ std::vector<int> local_efficient_cw(const Topology& topology,
   if (min_players < 1) {
     throw std::invalid_argument("local_efficient_cw: min_players < 1");
   }
+  // Collect the distinct local player counts first, then solve them in
+  // ascending order: W_c*(n) is nondecreasing in n, so each result warm-
+  // brackets the next search (EquilibriumFinder::efficient_cw_from).
   std::map<int, int> by_players;
-  std::vector<int> cw(topology.node_count());
+  std::vector<int> players_of(topology.node_count());
   for (std::size_t i = 0; i < topology.node_count(); ++i) {
     const int players =
         std::max(min_players, static_cast<int>(topology.degree(i)) + 1);
-    auto it = by_players.find(players);
-    if (it == by_players.end()) {
-      const game::EquilibriumFinder finder(game, players);
-      it = by_players.emplace(players, finder.efficient_cw()).first;
-    }
-    cw[i] = it->second;
+    players_of[i] = players;
+    by_players.emplace(players, 0);
+  }
+  int warm_lo = 1;
+  for (auto& [players, w_star] : by_players) {
+    const game::EquilibriumFinder finder(game, players);
+    w_star = finder.efficient_cw_from(warm_lo);
+    warm_lo = w_star;
+  }
+  std::vector<int> cw(topology.node_count());
+  for (std::size_t i = 0; i < topology.node_count(); ++i) {
+    cw[i] = by_players.at(players_of[i]);
   }
   return cw;
 }

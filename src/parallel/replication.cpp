@@ -42,13 +42,27 @@ const char* to_string(StopReason reason) noexcept {
 }
 
 std::string StoppingReport::summary() const {
-  char buffer[256];
-  if (target_half_width > 0.0) {
+  char buffer[320];
+  const bool has_abs = target_half_width > 0.0;
+  const bool has_rel = target_rel_half_width > 0.0;
+  if (has_abs || has_rel) {
+    char target[128];
+    if (has_abs && has_rel) {
+      std::snprintf(target, sizeof(target), "target %.6g or %.3g%% of |mean|",
+                    target_half_width, target_rel_half_width * 100.0);
+    } else if (has_abs) {
+      std::snprintf(target, sizeof(target), "target %.6g", target_half_width);
+    } else {
+      std::snprintf(target, sizeof(target),
+                    "target %.3g%% of |mean| = %.6g",
+                    target_rel_half_width * 100.0,
+                    target_rel_half_width * std::abs(watched_mean));
+    }
     std::snprintf(buffer, sizeof(buffer),
                   "sequential stopping: %zu replications (%zu samples), "
-                  "metric \"%s\" %.0f%% CI +/- %.6g (target %.6g, stop: %s)",
+                  "metric \"%s\" %.0f%% CI +/- %.6g (%s, stop: %s)",
                   replications, samples, metric.c_str(), confidence * 100.0,
-                  achieved_half_width, target_half_width, to_string(reason));
+                  achieved_half_width, target, to_string(reason));
   } else {
     std::snprintf(buffer, sizeof(buffer),
                   "fixed-N streaming: %zu replications (%zu samples), "
@@ -90,6 +104,9 @@ ResolvedStoppingRule resolve_stopping_rule(
   if (!std::isfinite(rule.ci_half_width_target)) {
     throw std::invalid_argument("StoppingRule: non-finite CI target");
   }
+  if (!std::isfinite(rule.ci_rel_target) || rule.ci_rel_target < 0.0) {
+    throw std::invalid_argument("StoppingRule: bad relative CI target");
+  }
   r.max_reps = rule.max_reps != 0 ? rule.max_reps : plan_replications;
   if (r.max_reps == 0) {
     throw std::invalid_argument("StoppingRule: zero max_reps");
@@ -99,6 +116,7 @@ ResolvedStoppingRule resolve_stopping_rule(
   r.batch = rule.batch_size != 0 ? rule.batch_size : kDefaultStoppingBatch;
   if (r.batch > r.max_reps) r.batch = r.max_reps;
   r.target = rule.ci_half_width_target;
+  r.rel = rule.ci_rel_target;
   r.confidence = rule.confidence;
   r.z = util::normal_quantile(0.5 + 0.5 * rule.confidence);
   return r;

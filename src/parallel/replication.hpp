@@ -38,6 +38,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <exception>
 #include <limits>
@@ -120,9 +121,17 @@ struct ReplicationBatch {
 struct StoppingRule {
   /// Watched metric name; empty selects the first metric.
   std::string metric;
-  /// Absolute CI half-width to reach. <= 0 disables early stopping (the
-  /// run becomes a fixed-N streaming reduction over max_reps).
+  /// Absolute CI half-width to reach. <= 0 disables the absolute
+  /// criterion; with no relative target either, the run becomes a fixed-N
+  /// streaming reduction over max_reps.
   double ci_half_width_target = 0.0;
+  /// Relative CI target: stop once half-width <= ci_rel_target · |running
+  /// mean| of the watched metric. Composes across metrics whose scales
+  /// differ by orders of magnitude (payoff rates ~1e-6 vs fractions ~1),
+  /// where one absolute width cannot. <= 0 disables it; when both targets
+  /// are armed, meeting *either* stops the run. A running mean of exactly
+  /// zero can only satisfy the relative criterion with a zero half-width.
+  double ci_rel_target = 0.0;
   /// Two-sided confidence level of the watched interval, in (0, 1).
   double confidence = 0.95;
   /// Never stop before this many replications have been executed.
@@ -153,14 +162,27 @@ struct StoppingReport {
   std::size_t metric_index = 0;  ///< index of the watched metric
   std::string metric;            ///< name of the watched metric
   double achieved_half_width = 0.0;  ///< watched CI half-width at stop
-  double target_half_width = 0.0;    ///< the rule's target (0 = fixed-N)
+  double target_half_width = 0.0;    ///< absolute target (0 = unarmed)
+  double target_rel_half_width = 0.0;  ///< relative target (0 = unarmed)
+  double watched_mean = 0.0;  ///< running mean of the watched metric
   double confidence = 0.95;
   StopReason reason = StopReason::kMaxReps;
 
-  /// True when early stopping was armed and the target was reached.
+  /// Achieved half-width relative to |mean| (infinity at mean 0).
+  double achieved_rel_half_width() const noexcept {
+    return watched_mean != 0.0
+               ? achieved_half_width / std::abs(watched_mean)
+               : std::numeric_limits<double>::infinity();
+  }
+
+  /// True when early stopping was armed and either target was reached.
   bool target_met() const noexcept {
-    return target_half_width > 0.0 &&
-           achieved_half_width <= target_half_width;
+    const bool abs_met = target_half_width > 0.0 &&
+                         achieved_half_width <= target_half_width;
+    const bool rel_met =
+        target_rel_half_width > 0.0 &&
+        achieved_half_width <= target_rel_half_width * std::abs(watched_mean);
+    return abs_met || rel_met;
   }
   /// One-line human-readable account (benches print this verbatim, so it
   /// contains nothing scheduling-dependent).
@@ -196,6 +218,7 @@ struct ResolvedStoppingRule {
   std::size_t max_reps = 1;
   std::size_t batch = kDefaultStoppingBatch;
   double target = 0.0;
+  double rel = 0.0;
   double confidence = 0.95;
   double z = 0.0;  ///< normal quantile of (1 + confidence) / 2
 };
@@ -361,11 +384,17 @@ class ReplicationRunner {
         batch_rows[k] = {};
       }
       executed += count;
-      if (r.target > 0.0 && executed >= r.min_reps &&
-          acc[r.watched].count() >= 2 &&
-          acc[r.watched].ci_halfwidth(r.z) <= r.target) {
-        reason = StopReason::kCiTarget;
-        break;
+      if ((r.target > 0.0 || r.rel > 0.0) && executed >= r.min_reps &&
+          acc[r.watched].count() >= 2) {
+        const double half_width = acc[r.watched].ci_halfwidth(r.z);
+        const bool abs_met = r.target > 0.0 && half_width <= r.target;
+        const bool rel_met =
+            r.rel > 0.0 &&
+            half_width <= r.rel * std::abs(acc[r.watched].mean());
+        if (abs_met || rel_met) {
+          reason = StopReason::kCiTarget;
+          break;
+        }
       }
     }
 
@@ -376,6 +405,8 @@ class ReplicationRunner {
     out.stopping.metric = metric_names[r.watched];
     out.stopping.achieved_half_width = acc[r.watched].ci_halfwidth(r.z);
     out.stopping.target_half_width = r.target;
+    out.stopping.target_rel_half_width = r.rel;
+    out.stopping.watched_mean = acc[r.watched].mean();
     out.stopping.confidence = r.confidence;
     out.stopping.reason = reason;
     out.metric_names = std::move(metric_names);

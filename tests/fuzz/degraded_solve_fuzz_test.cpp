@@ -165,6 +165,74 @@ TEST(DegradedSolveFuzzTest, RandomValidProfilesNeverThrow) {
               tally.cases, tally.converged, tally.degraded, tally.failed);
 }
 
+// Promoted fixtures: the pre-collapse solver left these valid random
+// profiles (printed by RandomValidProfilesNeverThrow before PR 4) at
+// kDegraded — or, for the n = 56 one, kFailed with residual 5.4e-5 —
+// under the starved max_iterations = 60 budget. The collapsed kernel's
+// seeded start plus the continue-from-best polish rung converges all of
+// them; pin that so a ladder regression cannot silently reintroduce
+// degraded solves on the game's own profile shapes.
+TEST(DegradedSolveFuzzTest, PreviouslyDegradedFixturesNowConverge) {
+  struct Fixture {
+    std::vector<int> w;
+    int max_stage;
+    double per;
+  };
+  const std::vector<Fixture> fixtures{
+      {{512,  256,  4008, 896,  1024, 1024, 4,    64,   4096, 1142, 4096,
+        2808, 4094, 16,   32,   2329, 64,   3968, 1024, 3052, 16,   4096,
+        512,  8,    44,   2048, 1,    3035, 1522, 2840, 32,   128,  2782,
+        32,   2603, 1024, 2992, 4,    8,    4,    3736, 1,    976},
+       6,
+       0.0},
+      {{512,  3376, 64,  1543, 4,    256,  4096, 64,   8,    1024, 32,   8,
+        4096, 1128, 2224, 1,   16,   16,   4096, 2905, 32,   2048, 2361,
+        3442, 4096, 4,   4096, 1144, 16,   3700, 74,   1201, 4,    128,
+        643,  1330, 32,  2,    1024, 16,   3993, 1782, 2,    2745, 2427,
+        512,  64,   2803, 1025, 583, 512,  2,    2807, 64,   32,   2550},
+       6,
+       0.0},
+      {{793,  2716, 2048, 32,   128,  421,  16,   1293, 227,  4,    422,
+        1,    132,  32,   512,  128,  194,  4096, 4096, 3352, 1771, 256,
+        2282, 128,  64,   400,  1863, 64,   2415, 2420, 3960, 1864, 1095,
+        8,    1574, 16,   4096, 3780, 1576, 3090, 128,  2588, 2733, 1,
+        32,   4,    64,   1645, 1,    64,   16,   3903, 2229, 2048, 2267,
+        902,  32,   32,   8,    64,   2048, 4050, 128,  8,    809,  3353,
+        1076, 4,    256,  64,   64,   2,    1024, 8,    2048, 512,  737,
+        64,   1189},
+       6,
+       0.0},
+      {{3951, 512,  2,    32,   64,   1260, 8,   395,  2,    3233, 582,
+        2236, 1,    1612, 256,  8,    2853, 8,   8,    1024, 1024, 411,
+        8,    3400, 512,  1661, 3576, 2,    1559, 1024, 1,   16,   128,
+        305,  4},
+       6,
+       0.0},
+      {{1713, 256,  1232, 4007, 4,    32,   1639, 256,  1045, 128,  8,
+        572,  16,   8,    1565, 1024, 1024, 2,    2826, 2451, 2048, 2514,
+        3577, 32,   1024, 2048, 32,   1024, 8,    4,    32,   3282, 2,
+        88,   32},
+       6,
+       0.25},
+      {{3279, 1845, 1569, 2,    2904, 683,  3913, 2279, 1435, 64,  512,
+        64,   4,    512,  937,  310,  265,  1024, 4,    2455, 1068, 4,
+        522,  3833, 3061, 2},
+       6,
+       0.0},
+  };
+  SolverOptions opts;
+  opts.max_iterations = 60;  // the same starved budget that provoked them
+  for (const Fixture& fixture : fixtures) {
+    const TrySolveResult r =
+        try_solve_network(fixture.w, fixture.max_stage, opts, fixture.per);
+    EXPECT_EQ(r.diagnostics.status, SolveStatus::kConverged)
+        << profile_label(fixture.w, fixture.max_stage, fixture.per)
+        << " -> " << to_string(r.diagnostics.status)
+        << " residual=" << r.diagnostics.residual
+        << " method=" << r.diagnostics.method;
+  }
+}
+
 TEST(DegradedSolveFuzzTest, HomogeneousTauLadderNeverThrows) {
   const std::vector<double> windows{1.0, 1.0001, 2.0, 63.7, 4096.0, 1e6};
   const std::vector<int> ns{1, 2, 50, 200};

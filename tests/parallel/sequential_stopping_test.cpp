@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -187,6 +188,107 @@ TEST(SequentialStoppingTest, WiderConfidenceNeedsMoreReplications) {
   // reaching the same half-width target must take at least as many reps.
   EXPECT_GE(reps99, reps90);
   EXPECT_GT(reps99, 0u);
+}
+
+TEST(SequentialStoppingTest, RelativeTargetStopsEarly) {
+  // 20% of |mean| on the noisy uniform column (mean ~0.5) is an easy
+  // target — far fewer replications than the 2000-rep budget.
+  StoppingRule rule;
+  rule.metric = "noisy";
+  rule.ci_rel_target = 0.20;
+  rule.batch_size = 16;
+  rule.max_reps = 2000;
+
+  const ReplicationSummary s =
+      ReplicationRunner({1, 7, 1}).run_sequential(kNames, rule, noisy_row);
+  EXPECT_EQ(s.stopping.reason, StopReason::kCiTarget);
+  EXPECT_TRUE(s.stopping.target_met());
+  EXPECT_LT(s.stopping.replications, rule.max_reps);
+  EXPECT_EQ(s.stopping.target_rel_half_width, 0.20);
+  EXPECT_NE(s.stopping.watched_mean, 0.0);
+  EXPECT_LE(s.stopping.achieved_half_width,
+            rule.ci_rel_target * std::abs(s.stopping.watched_mean));
+  EXPECT_LE(s.stopping.achieved_rel_half_width(), rule.ci_rel_target);
+  // Scale invariance is the point of the relative mode: the summary line
+  // names the percentage, not an absolute width.
+  EXPECT_NE(s.stopping.summary().find("% of |mean|"), std::string::npos);
+}
+
+TEST(SequentialStoppingTest, RelativeStopPointIsJobsInvariant) {
+  StoppingRule rule;
+  rule.metric = "noisy";
+  rule.ci_rel_target = 0.15;
+  rule.batch_size = 16;
+  rule.max_reps = 2000;
+
+  const ReplicationSummary s1 =
+      ReplicationRunner({1, 7, 1}).run_sequential(kNames, rule, noisy_row);
+  const ReplicationSummary s4 =
+      ReplicationRunner({1, 7, 4}).run_sequential(kNames, rule, noisy_row);
+  EXPECT_EQ(s1.stopping.replications, s4.stopping.replications);
+  EXPECT_EQ(s1.stopping.reason, s4.stopping.reason);
+  expect_bit_identical(s1.metrics, s4.metrics);
+}
+
+TEST(SequentialStoppingTest, AbsoluteAndRelativeTargetsCombineAsOr) {
+  // An unreachable absolute target alone runs to max_reps; adding an easy
+  // relative target stops the run early — whichever is met first wins.
+  StoppingRule rule;
+  rule.metric = "noisy";
+  rule.ci_half_width_target = 1e-9;  // unreachable within the budget
+  rule.batch_size = 16;
+  rule.max_reps = 256;
+
+  const ReplicationSummary abs_only =
+      ReplicationRunner({1, 11, 1}).run_sequential(kNames, rule, noisy_row);
+  EXPECT_EQ(abs_only.stopping.reason, StopReason::kMaxReps);
+
+  rule.ci_rel_target = 0.5;  // trivially met almost immediately
+  const ReplicationSummary both =
+      ReplicationRunner({1, 11, 1}).run_sequential(kNames, rule, noisy_row);
+  EXPECT_EQ(both.stopping.reason, StopReason::kCiTarget);
+  EXPECT_TRUE(both.stopping.target_met());
+  EXPECT_LT(both.stopping.replications, abs_only.stopping.replications);
+  // Both targets appear in the summary line.
+  EXPECT_NE(both.stopping.summary().find("or"), std::string::npos);
+}
+
+TEST(SequentialStoppingTest, RelativeTargetUnreachableOnZeroMeanMetric) {
+  // A mean straddling zero makes any relative target meaningless:
+  // achieved_rel_half_width() diverges and the run exhausts its budget.
+  StoppingRule rule;
+  rule.metric = "centered";
+  rule.ci_rel_target = 0.5;
+  rule.batch_size = 8;
+  rule.max_reps = 64;
+
+  const ReplicationSummary s = ReplicationRunner({1, 13, 1}).run_sequential(
+      {"centered"}, rule, [](std::uint64_t seed, std::size_t index) {
+        // Deterministic alternating pair: mean exactly 0 at boundaries.
+        (void)seed;
+        return std::vector<double>{index % 2 == 0 ? 1.0 : -1.0};
+      });
+  EXPECT_EQ(s.stopping.reason, StopReason::kMaxReps);
+  EXPECT_FALSE(s.stopping.target_met());
+  // Streaming accumulation leaves the mean at rounding noise, not an
+  // exact zero — the relative criterion still can't be satisfied.
+  EXPECT_NEAR(s.stopping.watched_mean, 0.0, 1e-15);
+}
+
+TEST(SequentialStoppingTest, ValidatesRelativeTargetInputs) {
+  const ReplicationRunner runner({4, 1, 1});
+  StoppingRule rule;
+  rule.ci_rel_target = -0.1;
+  EXPECT_THROW(runner.run_sequential(kNames, rule, noisy_row),
+               std::invalid_argument);
+  rule = {};
+  rule.ci_rel_target = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(runner.run_sequential(kNames, rule, noisy_row),
+               std::invalid_argument);
+  rule = {};
+  rule.ci_rel_target = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(runner.run_sequential(kNames, rule, noisy_row),
+               std::invalid_argument);
 }
 
 TEST(SequentialStoppingTest, CollectedFailuresAreExcludedFromAggregates) {
