@@ -28,6 +28,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "game/equilibrium.hpp"
+#include "game/forgiveness_grid.hpp"
+#include "game/observation_filter.hpp"
 #include "game/repeated_game.hpp"
 #include "game/stage_game.hpp"
 #include "parallel/replication.hpp"
@@ -164,6 +166,65 @@ int main(int argc, char** argv) {
                 gtft.stable_from);
   }
 
+  // Forgiveness grid (noise level × observation filter × reaction rule):
+  // the robustness layer closing the ratchet above. Every cell plays 6
+  // players of one rule for 120 stages under persistent false-low window
+  // reads (plus the grid's 10% observation loss), optionally behind an
+  // ObservationFilter. Cells sharing a noise level share an injector seed,
+  // so rules and filters face the same fault stream; "tail mean min W"
+  // (mean of the per-stage minimum window over the last 40 stages) is
+  // where the population actually lives — 1.0 means ratcheted, ~W* means
+  // held or recovered.
+  {
+    const std::vector<double> noise_levels{0.05, 0.15};
+    std::vector<game::ObservationFilterConfig> filters(3);
+    filters[0].kind = game::FilterKind::kNone;
+    filters[1].kind = game::FilterKind::kMedian;
+    filters[1].window = 5;
+    filters[2].kind = game::FilterKind::kTrimmedMean;
+    filters[2].window = 7;
+    filters[2].trim_fraction = 0.25;
+    const std::vector<game::ReactionRule> rules{
+        game::ReactionRule::kTft, game::ReactionRule::kGtft,
+        game::ReactionRule::kContriteTft, game::ReactionRule::kForgivingGtft};
+
+    std::vector<game::ForgivenessCellSpec> specs;
+    for (std::size_t a = 0; a < noise_levels.size(); ++a) {
+      for (const auto& filter : filters) {
+        for (const game::ReactionRule rule : rules) {
+          game::ForgivenessCellSpec spec;
+          spec.rule = rule;
+          spec.filter = filter;
+          spec.noise_probability = noise_levels[a];
+          spec.players = kPlayers;
+          spec.stages = kStages;
+          spec.w_coop = w_coop;
+          spec.seed = parallel::stream_seed(kBaseSeed ^ 0xf0, a);
+          specs.push_back(spec);
+        }
+      }
+    }
+    std::vector<game::ForgivenessCell> grid(specs.size());
+    bench::sweep(specs.size(), jobs, [&](std::size_t k) {
+      grid[k] = game::run_forgiveness_cell(game, specs[k]);
+    });
+    util::TextTable table({"noise", "filter", "strategy", "final W",
+                           "final min W", "tail mean min W", "stable from",
+                           "noisy obs"});
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      table.add_row(game::forgiveness_row(specs[k], grid[k]));
+    }
+    std::printf("forgiveness grid (%d players, %d stages, 10%% obs loss, "
+                "noise magnitude +/-4):\n%s\n",
+                kPlayers, kStages, table.to_string().c_str());
+    std::printf("contrite-tft drifts back to W* after 3 clean stages "
+                "(halving the gap per stage); forgiving-gtft needs its "
+                "smoothed trigger low for 2 consecutive stages before "
+                "punishing and relaxes upward after 2 clean ones; the "
+                "median/trimmed-mean filters reject isolated false reads "
+                "before either rule sees them.\n\n");
+  }
+
   // Slot-level counterpart: the single-hop simulator under the same
   // Gilbert-Elliott chain. Fixed seed per point; throughput degrades with
   // the fraction of slots spent in the Bad state.
@@ -226,11 +287,13 @@ int main(int argc, char** argv) {
       "Expectation: every grid cell holds (or quickly returns to) W*\n"
       "despite the crash/rejoin, churn, bursty loss, and stale (lost)\n"
       "observations — recovery of a handful of stages at most. Noisy\n"
-      "observations are the one unrecoverable fault: min-matching\n"
-      "retaliation turns any false low read into a permanent ratchet (the\n"
-      "contrast rows). Bursty loss raises the effective PER during Bad\n"
-      "episodes but never aborts a run: failed stage solves (if any) reuse\n"
-      "the last converged payoffs and are accounted in the\n"
-      "DegradationReport, never thrown.\n");
+      "observations ratchet plain TFT/GTFT to W = 1 (the contrast rows),\n"
+      "but the forgiveness grid shows the fix: contrite-tft and\n"
+      "forgiving-gtft live at or near W* under the same noise (tail mean\n"
+      "min W ~ W*), and an observation filter alone already rescues the\n"
+      "plain rules from isolated false reads. Bursty loss raises the\n"
+      "effective PER during Bad episodes but never aborts a run: failed\n"
+      "stage solves (if any) reuse the last converged payoffs and are\n"
+      "accounted in the DegradationReport, never thrown.\n");
   return 0;
 }

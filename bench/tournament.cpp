@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
   // 1. Invasion matrix at a long horizon (mixes fanned across jobs).
   const game::Tournament tournament(game, n, 300, jobs);
   const auto matrix = tournament.invasion_matrix(roster);
-  util::TextTable inv({"population \\ mutant", roster[0].name, roster[1].name,
-                       roster[2].name, roster[3].name});
+  std::vector<std::string> inv_header{"population \\ mutant"};
+  for (const auto& contender : roster) inv_header.push_back(contender.name);
+  util::TextTable inv(std::move(inv_header));
   for (std::size_t i = 0; i < roster.size(); ++i) {
     std::vector<std::string> row{roster[i].name};
     for (std::size_t j = 0; j < roster.size(); ++j) {
@@ -144,6 +145,12 @@ int main(int argc, char** argv) {
       "Replicator dynamics are bistable: TFT fixates from above the basin\n"
       "boundary (deviants poison only their own games under random\n"
       "matching) and goes extinct below it — evolution sustains the NE\n"
-      "only given a critical mass of cooperators.\n");
+      "only given a critical mass of cooperators.\n"
+      "The forgiving cast shows the robustness/deterrence tradeoff:\n"
+      "contrite-tft is INVADED by the relentless short-sighted deviant\n"
+      "(after each punishment the deviant sits at the standing reference,\n"
+      "so contrition reads the history as clean and drifts back up), while\n"
+      "forgiving-gtft still resists — its averaged trigger keeps refiring\n"
+      "as long as the deviant's r0-mean stays below beta x own.\n");
   return 0;
 }

@@ -1,0 +1,102 @@
+#include "game/forgiveness_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/table.hpp"
+
+namespace smac::game {
+
+const char* to_string(ReactionRule rule) noexcept {
+  switch (rule) {
+    case ReactionRule::kTft:
+      return "tft";
+    case ReactionRule::kGtft:
+      return "gtft";
+    case ReactionRule::kContriteTft:
+      return "contrite-tft";
+    case ReactionRule::kForgivingGtft:
+      return "forgiving-gtft";
+  }
+  return "?";
+}
+
+std::unique_ptr<Strategy> make_reaction_strategy(ReactionRule rule,
+                                                 int w_coop) {
+  switch (rule) {
+    case ReactionRule::kTft:
+      return std::make_unique<TitForTat>(w_coop);
+    case ReactionRule::kGtft:
+      return std::make_unique<GenerousTitForTat>(w_coop, 0.9, 3);
+    case ReactionRule::kContriteTft:
+      return std::make_unique<ContriteTitForTat>(w_coop, 3);
+    case ReactionRule::kForgivingGtft:
+      return std::make_unique<ForgivingGtft>(w_coop, 0.9, 3, 2, 2);
+  }
+  throw std::invalid_argument("make_reaction_strategy: unknown rule");
+}
+
+std::vector<std::unique_ptr<Strategy>> make_reaction_population(
+    ReactionRule rule, std::size_t n, int w_coop) {
+  std::vector<std::unique_ptr<Strategy>> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(make_reaction_strategy(rule, w_coop));
+  }
+  return pop;
+}
+
+ForgivenessCell run_forgiveness_cell(const StageGame& game,
+                                     const ForgivenessCellSpec& spec) {
+  if (spec.players < 2) {
+    throw std::invalid_argument("forgiveness cell: players < 2");
+  }
+  if (spec.stages < 1 || spec.tail_stages < 1) {
+    throw std::invalid_argument("forgiveness cell: stages < 1");
+  }
+  fault::FaultPlan plan;
+  plan.observation.loss_probability = spec.loss_probability;
+  plan.observation.noise_probability = spec.noise_probability;
+  plan.observation.noise_magnitude = spec.noise_magnitude;
+  fault::FaultInjector injector(plan,
+                                static_cast<std::size_t>(spec.players),
+                                spec.seed);
+  RepeatedGameEngine engine(
+      game, make_reaction_population(spec.rule,
+                                     static_cast<std::size_t>(spec.players),
+                                     spec.w_coop));
+  engine.set_observation_filter(spec.filter);
+  const RepeatedGameResult result = engine.play(spec.stages, &injector);
+
+  ForgivenessCell cell;
+  cell.converged_cw = result.converged_cw;
+  cell.stable_from = result.stable_from;
+  cell.report = result.degradation;
+  cell.final_min_cw = min_cw(result.history.back());
+  const int tail =
+      std::min(spec.tail_stages, static_cast<int>(result.history.size()));
+  double sum = 0.0;
+  for (std::size_t s = result.history.size() - static_cast<std::size_t>(tail);
+       s < result.history.size(); ++s) {
+    sum += static_cast<double>(min_cw(result.history[s]));
+  }
+  cell.tail_mean_min_cw = sum / static_cast<double>(tail);
+  return cell;
+}
+
+std::vector<std::string> forgiveness_row(const ForgivenessCellSpec& spec,
+                                         const ForgivenessCell& cell) {
+  return {util::fmt_percent(spec.noise_probability, 0),
+          spec.filter.name(),
+          to_string(spec.rule),
+          cell.converged_cw ? std::to_string(*cell.converged_cw) : "mixed",
+          std::to_string(cell.final_min_cw),
+          util::fmt_double(cell.tail_mean_min_cw, 1),
+          std::to_string(cell.stable_from),
+          std::to_string(cell.report.noisy_observations)};
+}
+
+}  // namespace smac::game

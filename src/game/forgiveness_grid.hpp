@@ -1,0 +1,82 @@
+// The forgiveness grid: the noise × filter × strategy experiment cell
+// behind bench_fault_resilience's observation-robustness section.
+//
+// One cell plays a homogeneous population of one reaction rule (TFT,
+// GTFT, Contrite-TFT, Forgiving-GTFT) for a fixed horizon under
+// persistent observation faults — false-low window reads being the
+// scenario that ratchets plain TFT/GTFT to W = 1 — optionally behind an
+// ObservationFilter. The cell runner and the row formatter live in the
+// library (not the bench) so tests/parallel can assert that the exact
+// strings the bench prints are byte-identical at any jobs fan-out.
+//
+// Determinism: a cell is a pure function of (game, spec) — the injector
+// is seeded from spec.seed, the filter and strategies are stateless, and
+// nothing reads thread identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/degradation.hpp"
+#include "game/observation_filter.hpp"
+#include "game/repeated_game.hpp"
+#include "game/stage_game.hpp"
+
+namespace smac::game {
+
+/// The reaction rules the grid compares.
+enum class ReactionRule { kTft, kGtft, kContriteTft, kForgivingGtft };
+
+const char* to_string(ReactionRule rule) noexcept;
+
+/// A fresh instance of `rule` anchored at `w_coop` (grid defaults:
+/// GTFT(0.9, 3), Contrite(k = 3), Forgiving(0.9, 3, trig 2, clean 2)).
+std::unique_ptr<Strategy> make_reaction_strategy(ReactionRule rule,
+                                                 int w_coop);
+
+/// n independent instances of `rule`.
+std::vector<std::unique_ptr<Strategy>> make_reaction_population(
+    ReactionRule rule, std::size_t n, int w_coop);
+
+/// One grid cell: which rule, behind which filter, under how much noise.
+struct ForgivenessCellSpec {
+  ReactionRule rule = ReactionRule::kTft;
+  ObservationFilterConfig filter;   ///< kNone = raw observations
+  double noise_probability = 0.05;  ///< false window reads per observation
+  int noise_magnitude = 4;          ///< read perturbed by up to ±magnitude
+  double loss_probability = 0.10;   ///< stale-belief observations
+  int players = 6;
+  int stages = 120;
+  int w_coop = 1;                   ///< cooperative window the cast starts on
+  int tail_stages = 40;             ///< averaging window of the tail metric
+  std::uint64_t seed = 0;
+};
+
+/// What one cell measured.
+struct ForgivenessCell {
+  std::optional<int> converged_cw;  ///< homogeneous final window, if any
+  int final_min_cw = 0;             ///< min window of the last stage
+  /// Mean over the last `tail_stages` stages of the per-stage minimum
+  /// window — the "where did the population actually live" metric (a
+  /// forgiving cast oscillates near W*; a ratcheted one sits at 1).
+  double tail_mean_min_cw = 0.0;
+  int stable_from = 0;
+  fault::DegradationReport report;
+};
+
+/// Plays one cell to completion. Throws only on invalid specs; fault and
+/// solver trouble degrade gracefully as in RepeatedGameEngine::play.
+ForgivenessCell run_forgiveness_cell(const StageGame& game,
+                                     const ForgivenessCellSpec& spec);
+
+/// The table row bench_fault_resilience prints for one cell:
+/// {noise, filter, strategy, final W, tail mean min W, stable from,
+///  noisy obs}. Kept here so the jobs-invariance test compares the very
+/// strings the bench emits.
+std::vector<std::string> forgiveness_row(const ForgivenessCellSpec& spec,
+                                         const ForgivenessCell& cell);
+
+}  // namespace smac::game

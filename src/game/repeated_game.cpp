@@ -21,6 +21,11 @@ RepeatedGameResult RepeatedGameEngine::play(int stages) {
   return play(stages, nullptr);
 }
 
+void RepeatedGameEngine::set_observation_filter(
+    ObservationFilterConfig config) {
+  filter_ = ObservationFilter(config);
+}
+
 RepeatedGameResult RepeatedGameEngine::play(int stages,
                                             fault::FaultInjector* injector) {
   if (stages < 1) throw std::invalid_argument("play: stages < 1");
@@ -31,15 +36,22 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
   }
   const double delta = game_.params().discount;
   // Per-player observed histories only matter when observations can be
-  // perturbed; otherwise every player reads the true trajectory.
-  const bool per_view = injector && injector->plan().observation.enabled();
+  // perturbed or smoothed; otherwise every player reads the true
+  // trajectory.
+  const bool faulted_obs = injector && injector->plan().observation.enabled();
+  const bool per_view = faulted_obs || filter_.enabled();
 
   RepeatedGameResult result;
   result.history.reserve(static_cast<std::size_t>(stages));
   result.discounted_utility.assign(n, 0.0);
   result.total_utility.assign(n, 0.0);
 
+  // `observed` holds each player's raw (post-fault) view; when a filter
+  // is installed, `smoothed` holds the filtered view the player actually
+  // decides on (raw stays the loss-fallback source, matching how a node
+  // would remember raw readings and re-filter).
   std::vector<History> observed(per_view ? n : 0);
+  std::vector<History> smoothed(per_view && filter_.enabled() ? n : 0);
   std::vector<int> current_cw(n, 1);
   std::vector<double> last_good;  // per-player payoffs of last usable solve
 
@@ -54,7 +66,9 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
       if (k == 0) {
         current_cw[i] = strategies_[i]->initial_cw();
       } else if (player_online(record, i)) {
-        const History& view = per_view ? observed[i] : result.history;
+        const History& view = !per_view ? result.history
+                              : filter_.enabled() ? smoothed[i]
+                                                  : observed[i];
         current_cw[i] = strategies_[i]->decide(view, i);
       }  // a crashed player keeps its configured window
       if (current_cw[i] < 1) {
@@ -118,18 +132,25 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
 
     if (per_view) {
       // Each player's view of this stage: own window exact, opponents'
-      // through the observation fault model (fixed i-then-j draw order).
+      // through the observation fault model (fixed i-then-j draw order),
+      // then — when a filter is installed — smoothed over the trailing
+      // raw observations.
       const StageRecord& truth = result.history.back();
       for (std::size_t i = 0; i < n; ++i) {
         StageRecord view = truth;
-        for (std::size_t j = 0; j < n; ++j) {
-          if (j == i || !player_online(truth, j)) continue;
-          const int fallback =
-              k > 0 ? observed[i][static_cast<std::size_t>(k - 1)].cw[j]
-                    : truth.cw[j];
-          view.cw[j] = injector->observe_cw(truth.cw[j], fallback).cw;
+        if (faulted_obs) {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i || !player_online(truth, j)) continue;
+            const int fallback =
+                k > 0 ? observed[i][static_cast<std::size_t>(k - 1)].cw[j]
+                      : truth.cw[j];
+            view.cw[j] = injector->observe_cw(truth.cw[j], fallback).cw;
+          }
         }
         observed[i].push_back(std::move(view));
+        if (filter_.enabled()) {
+          smoothed[i].push_back(filter_.filter_latest(observed[i], i));
+        }
       }
     }
   }
@@ -179,6 +200,29 @@ std::vector<std::unique_ptr<Strategy>> make_gtft_population(std::size_t n,
   pop.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     pop.push_back(std::make_unique<GenerousTitForTat>(initial_w, beta, r0));
+  }
+  return pop;
+}
+
+std::vector<std::unique_ptr<Strategy>> make_contrite_population(
+    std::size_t n, int w_coop, int clean_stages) {
+  std::vector<std::unique_ptr<Strategy>> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(std::make_unique<ContriteTitForTat>(w_coop, clean_stages));
+  }
+  return pop;
+}
+
+std::vector<std::unique_ptr<Strategy>> make_forgiving_gtft_population(
+    std::size_t n, int initial_w, double beta, int r0, int trigger_stages,
+    int clean_stages) {
+  std::vector<std::unique_ptr<Strategy>> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(std::make_unique<ForgivingGtft>(initial_w, beta, r0,
+                                                  trigger_stages,
+                                                  clean_stages));
   }
   return pop;
 }

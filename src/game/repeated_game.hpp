@@ -12,6 +12,7 @@
 
 #include "fault/degradation.hpp"
 #include "fault/fault_injector.hpp"
+#include "game/observation_filter.hpp"
 #include "game/stage_game.hpp"
 #include "game/strategies.hpp"
 
@@ -62,9 +63,23 @@ class RepeatedGameEngine {
   ///    loss fallback.
   RepeatedGameResult play(int stages, fault::FaultInjector* injector);
 
+  /// Installs an observation filter between the (possibly faulted)
+  /// observed histories and the strategies: every player decides on a
+  /// view whose opponents' windows are smoothed by `config` (own window,
+  /// utilities, and online mask stay exact). Enabling a filter forces
+  /// per-player views even without observation faults, so filtered runs
+  /// are well defined fault-free too. Pass a default (kNone) config to
+  /// remove the filter. Throws std::invalid_argument on a bad config.
+  void set_observation_filter(ObservationFilterConfig config);
+
+  const ObservationFilter& observation_filter() const noexcept {
+    return filter_;
+  }
+
  private:
   const StageGame& game_;
   std::vector<std::unique_ptr<Strategy>> strategies_;
+  ObservationFilter filter_;  ///< disabled by default
 };
 
 /// Convenience: n TFT players all starting from `initial_w`.
@@ -76,5 +91,15 @@ std::vector<std::unique_ptr<Strategy>> make_gtft_population(std::size_t n,
                                                             int initial_w,
                                                             double beta,
                                                             int r0);
+
+/// n Contrite-TFT players drifting back to `w_coop` after `clean_stages`
+/// clean stages.
+std::vector<std::unique_ptr<Strategy>> make_contrite_population(
+    std::size_t n, int w_coop, int clean_stages);
+
+/// n Forgiving-GTFT players with the given trigger/relaxation parameters.
+std::vector<std::unique_ptr<Strategy>> make_forgiving_gtft_population(
+    std::size_t n, int initial_w, double beta, int r0, int trigger_stages,
+    int clean_stages);
 
 }  // namespace smac::game

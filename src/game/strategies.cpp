@@ -30,6 +30,27 @@ int min_cw(const StageRecord& record) {
   return *std::min_element(record.cw.begin(), record.cw.end());
 }
 
+int opponent_min_cw(const StageRecord& record, std::size_t self) {
+  if (record.cw.empty()) {
+    throw std::invalid_argument("opponent_min_cw: empty record");
+  }
+  int best = 0;
+  bool found = false;
+  for (std::size_t j = 0; j < record.cw.size(); ++j) {
+    if (j == self || !player_online(record, j)) continue;
+    if (!found || record.cw[j] < best) {
+      best = record.cw[j];
+      found = true;
+    }
+  }
+  return found ? best : record.cw.at(self);
+}
+
+int forgive_step(int own, int target) noexcept {
+  if (own >= target) return target;
+  return std::min(target, own + std::max(1, (target - own + 1) / 2));
+}
+
 // ---- ConstantStrategy ----
 
 ConstantStrategy::ConstantStrategy(int w) : w_(w) {
@@ -104,6 +125,160 @@ int GenerousTitForTat::decide(const History& history, std::size_t self) {
 std::string GenerousTitForTat::name() const {
   std::ostringstream os;
   os << "gtft(beta=" << beta_ << ",r0=" << r0_ << ")";
+  return os.str();
+}
+
+// ---- ContriteTitForTat ----
+
+ContriteTitForTat::ContriteTitForTat(int w_coop, int clean_stages)
+    : w_coop_(w_coop), k_(clean_stages) {
+  if (w_coop < 1) throw std::invalid_argument("ContriteTitForTat: w_coop < 1");
+  if (clean_stages < 1) {
+    throw std::invalid_argument("ContriteTitForTat: clean_stages < 1");
+  }
+}
+
+namespace {
+
+/// The "standing" reference of player `self` at history stage `s`: the
+/// smallest window it played over the last kStandingDepth stages.
+/// Opponents at or above this level are not deviating — they may simply
+/// not have forgiven as far as we have, or an observer's belief of them
+/// may be a few stages stale (observation loss keeps the previous
+/// belief). Judging aggression against the *raised* window instead
+/// (plain min-matching) makes desynchronized upward drift
+/// self-punishing: the first player to forgive sees the laggards "below"
+/// it and drops right back, and the population stands at W = 1 forever.
+/// Depth 4 tolerates beliefs stale by up to 3 stages — deeper staleness
+/// has probability loss_probability^4 per belief and is punished as if
+/// real (a bounded episode, not a ratchet).
+constexpr std::size_t kStandingDepth = 4;
+
+int standing_ref(const History& history, std::size_t self, std::size_t s) {
+  int ref = history[s].cw.at(self);
+  const std::size_t first = s + 1 >= kStandingDepth ? s + 1 - kStandingDepth
+                                                    : 0;
+  for (std::size_t t = first; t < s; ++t) {
+    ref = std::min(ref, history[t].cw.at(self));
+  }
+  return ref;
+}
+
+}  // namespace
+
+int ContriteTitForTat::decide(const History& history, std::size_t self) {
+  if (history.empty()) return w_coop_;
+  const int own = history.back().cw.at(self);
+  const std::size_t last = history.size() - 1;
+  const int m = opponent_min_cw(history.back(), self);
+  if (m < standing_ref(history, self, last)) return m;  // punish, TFT-style
+  // Contrition: count the trailing stages in which nobody (online) was
+  // observed below this player's standing reference.
+  int streak = 0;
+  for (std::size_t s = history.size(); s-- > 0;) {
+    if (opponent_min_cw(history[s], self) >= standing_ref(history, self, s)) {
+      ++streak;
+    } else {
+      break;
+    }
+  }
+  if (streak >= k_ && own < w_coop_) return forgive_step(own, w_coop_);
+  return own;
+}
+
+std::string ContriteTitForTat::name() const {
+  std::ostringstream os;
+  os << "contrite-tft(w=" << w_coop_ << ",k=" << k_ << ")";
+  return os.str();
+}
+
+// ---- ForgivingGtft ----
+
+ForgivingGtft::ForgivingGtft(int initial_w, double beta, int window_stages,
+                             int trigger_stages, int clean_stages)
+    : initial_w_(initial_w),
+      beta_(beta),
+      r0_(window_stages),
+      trigger_(trigger_stages),
+      clean_(clean_stages) {
+  if (initial_w < 1) throw std::invalid_argument("ForgivingGtft: initial_w < 1");
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    throw std::invalid_argument("ForgivingGtft: beta outside (0,1)");
+  }
+  if (window_stages < 1) {
+    throw std::invalid_argument("ForgivingGtft: window_stages < 1");
+  }
+  if (trigger_stages < 1) {
+    throw std::invalid_argument("ForgivingGtft: trigger_stages < 1");
+  }
+  if (clean_stages < 1) {
+    throw std::invalid_argument("ForgivingGtft: clean_stages < 1");
+  }
+}
+
+bool ForgivingGtft::triggered_at(const History& history, std::size_t self,
+                                 std::size_t stage) const {
+  if (stage >= history.size()) {
+    throw std::invalid_argument("ForgivingGtft: stage out of range");
+  }
+  const StageRecord& record = history[stage];
+  const std::size_t n = record.cw.size();
+  const std::size_t stages =
+      std::min<std::size_t>(static_cast<std::size_t>(r0_), stage + 1);
+  std::vector<double> avg(n, 0.0);
+  for (std::size_t s = stage + 1 - stages; s <= stage; ++s) {
+    for (std::size_t j = 0; j < n; ++j) {
+      avg[j] += static_cast<double>(history[s].cw.at(j));
+    }
+  }
+  for (double& a : avg) a /= static_cast<double>(stages);
+  // The reference is the smallest of the r0-averaged own window and the
+  // windows actually played in the last two stages (the "standing" floor,
+  // see standing_ref above): a player that just punished or just drifted
+  // upward must not read its own move as opponents turning aggressive.
+  const double mine =
+      std::min(avg[self],
+               static_cast<double>(standing_ref(history, self, stage)));
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == self || !player_online(record, j)) continue;
+    if (avg[j] < beta_ * mine) return true;
+  }
+  return false;
+}
+
+int ForgivingGtft::decide(const History& history, std::size_t self) {
+  if (history.empty()) return initial_w_;
+  const int own = history.back().cw.at(self);
+  // Punish only when the averaged trigger held for the last `trigger_`
+  // stages in a row — one noisy stage can never fire it.
+  if (history.size() >= static_cast<std::size_t>(trigger_)) {
+    bool sustained = true;
+    for (int s = 0; s < trigger_; ++s) {
+      if (!triggered_at(history, self, history.size() - 1 -
+                                           static_cast<std::size_t>(s))) {
+        sustained = false;
+        break;
+      }
+    }
+    if (sustained) return min_cw(history.back());
+  }
+  if (triggered_at(history, self, history.size() - 1)) return own;
+  // Upward relaxation after a clean (untriggered) streak.
+  int streak = 0;
+  for (std::size_t s = history.size(); s-- > 0;) {
+    if (triggered_at(history, self, s)) break;
+    ++streak;
+  }
+  if (streak >= clean_ && own < initial_w_) {
+    return forgive_step(own, initial_w_);
+  }
+  return own;
+}
+
+std::string ForgivingGtft::name() const {
+  std::ostringstream os;
+  os << "forgiving-gtft(beta=" << beta_ << ",r0=" << r0_ << ",trig="
+     << trigger_ << ",clean=" << clean_ << ")";
   return os.str();
 }
 

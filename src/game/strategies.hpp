@@ -125,6 +125,72 @@ class MaliciousStrategy final : public Strategy {
   int attack_stage_;
 };
 
+/// Contrite TFT (robustness extension of §IV, after Boyd's "contrite"
+/// repair of TFT in noisy games): punishes like TFT — any online opponent
+/// observed below its *standing reference* (the smallest window it
+/// played over the last few stages) is matched — but once `clean_stages`
+/// consecutive stages pass with nobody below that reference, it drifts
+/// back up toward its cooperative window, halving the remaining gap each
+/// stage. The trailing-minimum reference is the standing notion: a player
+/// that just forgave upward must not punish laggards still at the old
+/// common level — nor beliefs a few stages stale under observation loss —
+/// or desynchronized forgiveness self-destructs. A false-low
+/// observation therefore costs a bounded punishment episode instead of
+/// TFT's permanent W = 1 ratchet. decide() is a pure function of
+/// (history, self): no internal state.
+class ContriteTitForTat final : public Strategy {
+ public:
+  ContriteTitForTat(int w_coop, int clean_stages);
+  int initial_cw() const override { return w_coop_; }
+  int decide(const History& history, std::size_t self) override;
+  std::string name() const override;  // "contrite-tft(w=19,k=3)"
+
+  int cooperative_cw() const noexcept { return w_coop_; }
+  int clean_stages() const noexcept { return k_; }
+
+ private:
+  int w_coop_;
+  int k_;
+};
+
+/// Forgiving GTFT: GTFT whose punishment trigger must hold on the
+/// r0-stage *averaged* windows for `trigger_stages` consecutive stages
+/// before it reacts (one noisy stage can never fire it), and which
+/// relaxes upward toward its cooperative window after `clean_stages`
+/// consecutive untriggered stages — the upward branch plain GTFT lacks.
+/// The trigger compares opponents' averages against β times the smaller
+/// of the own r0-average and the own standing reference (minimum window
+/// played over the last few stages), so neither its own punishment nor
+/// its own upward drift reads as opponents turning aggressive. decide()
+/// is a pure function of (history, self).
+class ForgivingGtft final : public Strategy {
+ public:
+  ForgivingGtft(int initial_w, double beta, int window_stages,
+                int trigger_stages, int clean_stages);
+  int initial_cw() const override { return initial_w_; }
+  int decide(const History& history, std::size_t self) override;
+  /// "forgiving-gtft(beta=0.9,r0=3,trig=2,clean=2)"
+  std::string name() const override;
+
+  double beta() const noexcept { return beta_; }
+  int window_stages() const noexcept { return r0_; }
+  int trigger_stages() const noexcept { return trigger_; }
+  int clean_stages() const noexcept { return clean_; }
+
+  /// Whether the GTFT trigger condition (some online opponent's r0-stage
+  /// average below beta × own average) holds at history stage `stage`.
+  /// Exposed so tests can pin the trigger semantics independently.
+  bool triggered_at(const History& history, std::size_t self,
+                    std::size_t stage) const;
+
+ private:
+  int initial_w_;
+  double beta_;
+  int r0_;
+  int trigger_;
+  int clean_;
+};
+
 /// Myopic best response: each stage plays the window maximizing its own
 /// *stage* utility against the opponents' last profile. Used as the
 /// "everyone short-sighted" baseline that reproduces the network-collapse
@@ -150,5 +216,16 @@ class MyopicBestResponse final : public Strategy {
 /// players (all players when the online mask is empty; falls back to the
 /// full profile if every player is marked down).
 int min_cw(const StageRecord& record);
+
+/// Minimum window across the *online opponents* of player `self`; falls
+/// back to self's own window when no opponent is online (no evidence of
+/// aggression). The quantity the forgiving strategies react to.
+int opponent_min_cw(const StageRecord& record, std::size_t self);
+
+/// One upward forgiveness step: halves the remaining gap to `target`
+/// (always by at least 1, never past target). Monotone non-decreasing in
+/// `own` with fixed point `target`, so a clean streak drives any window
+/// back to the cooperative one in O(log(target − own)) stages.
+int forgive_step(int own, int target) noexcept;
 
 }  // namespace smac::game

@@ -186,25 +186,43 @@ std::vector<double> Tournament::round_robin_scores(
   return scores;
 }
 
+namespace {
+
+/// A Contender whose display name is the strategy's own name() — the
+/// full parameter set (β, r0, trigger/clean stages, …), so bench output
+/// disambiguates configurations instead of hand-written labels drifting
+/// out of sync with the factory.
+Contender make_contender(std::function<std::unique_ptr<Strategy>()> make) {
+  Contender c;
+  c.name = make()->name();
+  c.make = std::move(make);
+  return c;
+}
+
+}  // namespace
+
 std::vector<Contender> standard_roster(const StageGame& game, int n,
                                        int w_coop) {
   (void)game;
   (void)n;
   std::vector<Contender> roster;
-  roster.push_back({"tft", [w_coop] {
-                      return std::make_unique<TitForTat>(w_coop);
-                    }});
-  roster.push_back({"gtft(0.9,3)", [w_coop] {
-                      return std::make_unique<GenerousTitForTat>(w_coop, 0.9,
-                                                                 3);
-                    }});
-  roster.push_back({"constant(w*)", [w_coop] {
-                      return std::make_unique<ConstantStrategy>(w_coop);
-                    }});
-  roster.push_back({"short-sighted(w*/4)", [w_coop] {
-                      return std::make_unique<ShortSightedStrategy>(
-                          std::max(1, w_coop / 4));
-                    }});
+  roster.push_back(make_contender(
+      [w_coop] { return std::make_unique<TitForTat>(w_coop); }));
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<GenerousTitForTat>(w_coop, 0.9, 3);
+  }));
+  roster.push_back(make_contender(
+      [w_coop] { return std::make_unique<ConstantStrategy>(w_coop); }));
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<ShortSightedStrategy>(std::max(1, w_coop / 4));
+  }));
+  // The forgiving cast (observation-robust reaction rules; see
+  // src/game/forgiveness_grid.hpp for the noise scenarios they exist for).
+  roster.push_back(make_contender(
+      [w_coop] { return std::make_unique<ContriteTitForTat>(w_coop, 3); }));
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<ForgivingGtft>(w_coop, 0.9, 3, 2, 2);
+  }));
   return roster;
 }
 

@@ -1,0 +1,151 @@
+// Regression pin for the observation-noise ratchet (ROADMAP item closed
+// by PR 5): under persistent false-low window reads, plain TFT and GTFT
+// collapse to W = 1 and NEVER climb back out (min-matching makes the
+// false read absorbing), while contrite-tft and forgiving-gtft recover
+// within a handful of stages. The scenarios mirror the no-filter cells
+// of bench_fault_resilience's forgiveness grid (same seeds, same plan),
+// so these numbers are exactly the grid's rows.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "game/forgiveness_grid.hpp"
+#include "game/repeated_game.hpp"
+#include "game/stage_game.hpp"
+#include "gtest/gtest.h"
+#include "parallel/replication.hpp"
+#include "phy/parameters.hpp"
+
+namespace {
+
+using namespace smac;
+
+constexpr int kPlayers = 6;
+constexpr int kStages = 120;
+constexpr int kWCoop = 19;  // W* for n = 6 RTS/CTS (EquilibriumFinder)
+constexpr std::uint64_t kGridSeed = 0xfa57 ^ 0xf0;  // bench grid base seed
+
+const game::StageGame& test_game() {
+  static const game::StageGame game(phy::Parameters::paper(),
+                                    phy::AccessMode::kRtsCts);
+  return game;
+}
+
+game::ForgivenessCellSpec no_filter_spec(game::ReactionRule rule,
+                                         double noise,
+                                         std::uint64_t noise_index) {
+  game::ForgivenessCellSpec spec;
+  spec.rule = rule;
+  spec.noise_probability = noise;
+  spec.players = kPlayers;
+  spec.stages = kStages;
+  spec.w_coop = kWCoop;
+  spec.seed = parallel::stream_seed(kGridSeed, noise_index);
+  return spec;
+}
+
+// The raw trajectory behind one no-filter cell.
+game::RepeatedGameResult play_cell(const game::ForgivenessCellSpec& spec) {
+  fault::FaultPlan plan;
+  plan.observation.loss_probability = spec.loss_probability;
+  plan.observation.noise_probability = spec.noise_probability;
+  plan.observation.noise_magnitude = spec.noise_magnitude;
+  fault::FaultInjector injector(plan, kPlayers, spec.seed);
+  game::RepeatedGameEngine engine(
+      test_game(),
+      game::make_reaction_population(spec.rule, kPlayers, spec.w_coop));
+  engine.set_observation_filter(spec.filter);
+  return engine.play(spec.stages, &injector);
+}
+
+TEST(ForgivenessRegression, TftAndGtftRatchetAndNeverRecover) {
+  for (const auto rule :
+       {game::ReactionRule::kTft, game::ReactionRule::kGtft}) {
+    const auto result = play_cell(no_filter_spec(rule, 0.05, 0));
+    // The ratchet: once the population hits W = 1 it stays there for the
+    // whole remaining horizon — no stage ever moves back up.
+    int first_floor = -1;
+    for (std::size_t s = 0; s < result.history.size(); ++s) {
+      if (game::min_cw(result.history[s]) == 1) {
+        first_floor = static_cast<int>(s);
+        break;
+      }
+    }
+    ASSERT_GE(first_floor, 0) << game::to_string(rule)
+                              << ": noise never drove the cast to W = 1";
+    for (std::size_t s = static_cast<std::size_t>(first_floor);
+         s < result.history.size(); ++s) {
+      ASSERT_EQ(game::min_cw(result.history[s]), 1)
+          << game::to_string(rule) << " recovered at stage " << s
+          << " — the ratchet pin is broken";
+    }
+  }
+}
+
+TEST(ForgivenessRegression, ForgivingRulesRecoverFromEveryCollapse) {
+  // Every W = 1 episode of the forgiving rules ends: within
+  // clean_stages + O(log W*) stages the per-stage minimum is back near
+  // W*. 12 stages is double the worst drift observed; episodes that
+  // start too close to the horizon to observe a recovery are skipped.
+  constexpr int kRecoveryWindow = 12;
+  constexpr int kRecoveredLevel = 15;  // within a noise notch of W* = 19
+  for (const auto rule : {game::ReactionRule::kContriteTft,
+                          game::ReactionRule::kForgivingGtft}) {
+    const auto result = play_cell(no_filter_spec(rule, 0.05, 0));
+    for (std::size_t s = 0; s < result.history.size(); ++s) {
+      if (game::min_cw(result.history[s]) != 1) continue;
+      if (s + kRecoveryWindow >= result.history.size()) break;
+      bool recovered = false;
+      for (std::size_t t = s + 1; t <= s + kRecoveryWindow; ++t) {
+        if (game::min_cw(result.history[t]) >= kRecoveredLevel) {
+          recovered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(recovered)
+          << game::to_string(rule) << ": collapse at stage " << s
+          << " not recovered within " << kRecoveryWindow << " stages";
+    }
+  }
+}
+
+TEST(ForgivenessRegression, GridCellContrastAtBothNoiseLevels) {
+  // The bench grid's headline numbers, pinned: ratcheted rules live at
+  // exactly 1.0 tail mean; the forgiving rules live most of an order of
+  // magnitude higher under identical fault draws.
+  const std::vector<std::pair<double, std::uint64_t>> noise{{0.05, 0},
+                                                            {0.15, 1}};
+  for (const auto& [level, index] : noise) {
+    const auto tft = game::run_forgiveness_cell(
+        test_game(), no_filter_spec(game::ReactionRule::kTft, level, index));
+    const auto gtft = game::run_forgiveness_cell(
+        test_game(), no_filter_spec(game::ReactionRule::kGtft, level, index));
+    const auto contrite = game::run_forgiveness_cell(
+        test_game(),
+        no_filter_spec(game::ReactionRule::kContriteTft, level, index));
+    const auto forgiving = game::run_forgiveness_cell(
+        test_game(),
+        no_filter_spec(game::ReactionRule::kForgivingGtft, level, index));
+    EXPECT_DOUBLE_EQ(tft.tail_mean_min_cw, 1.0) << level;
+    EXPECT_EQ(tft.final_min_cw, 1) << level;
+    EXPECT_DOUBLE_EQ(gtft.tail_mean_min_cw, 1.0) << level;
+    EXPECT_EQ(gtft.final_min_cw, 1) << level;
+    EXPECT_GE(contrite.tail_mean_min_cw, 8.0) << level;
+    EXPECT_GE(forgiving.tail_mean_min_cw, 15.0) << level;
+  }
+}
+
+TEST(ForgivenessRegression, MedianFilterRescuesPlainTft) {
+  // An observation filter alone already breaks the ratchet for plain TFT
+  // at moderate noise: isolated false reads never reach the trigger.
+  auto spec = no_filter_spec(game::ReactionRule::kTft, 0.05, 0);
+  spec.filter.kind = game::FilterKind::kMedian;
+  spec.filter.window = 5;
+  const auto filtered = game::run_forgiveness_cell(test_game(), spec);
+  EXPECT_GE(filtered.tail_mean_min_cw, 10.0);
+  EXPECT_GE(filtered.final_min_cw, 10);
+}
+
+}  // namespace

@@ -106,6 +106,56 @@ TEST(GenerousTftTest, NameEncodesParameters) {
   EXPECT_EQ(s.name(), "gtft(beta=0.9,r0=3)");
 }
 
+TEST(ContriteTftTest, ValidatesConstructionAndName) {
+  EXPECT_THROW(ContriteTitForTat(0, 3), std::invalid_argument);
+  EXPECT_THROW(ContriteTitForTat(19, 0), std::invalid_argument);
+  ContriteTitForTat s(19, 3);
+  EXPECT_EQ(s.name(), "contrite-tft(w=19,k=3)");
+  EXPECT_EQ(s.cooperative_cw(), 19);
+  EXPECT_EQ(s.clean_stages(), 3);
+  EXPECT_EQ(s.initial_cw(), 19);
+}
+
+TEST(ContriteTftTest, PunishesBelowStandingAndDriftsBack) {
+  ContriteTitForTat s(19, 3);
+  // A genuine deviation below everything self played recently: punish.
+  const History deviation = make_history({{19, 19}, {19, 5}});
+  EXPECT_EQ(s.decide(deviation, 0), 5);
+  // A laggard at self's own recent level is NOT a deviation (standing):
+  // self forgave 5 → 12 but the opponent still sits at 5; with only two
+  // clean stages (< k = 3) the window holds rather than punishing.
+  const History laggard = make_history({{5, 5}, {12, 5}});
+  EXPECT_EQ(s.decide(laggard, 0), 12);
+  // Three clean stages at a depressed window: drift half the gap upward.
+  const History clean = make_history({{7, 7}, {7, 7}, {7, 7}});
+  EXPECT_EQ(s.decide(clean, 0), forgive_step(7, 19));
+}
+
+TEST(ForgivingGtftTest, ValidatesConstructionAndName) {
+  EXPECT_THROW(ForgivingGtft(0, 0.9, 3, 2, 2), std::invalid_argument);
+  EXPECT_THROW(ForgivingGtft(19, 1.0, 3, 2, 2), std::invalid_argument);
+  EXPECT_THROW(ForgivingGtft(19, 0.9, 0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(ForgivingGtft(19, 0.9, 3, 0, 2), std::invalid_argument);
+  EXPECT_THROW(ForgivingGtft(19, 0.9, 3, 2, 0), std::invalid_argument);
+  ForgivingGtft s(19, 0.9, 3, 2, 2);
+  EXPECT_EQ(s.name(), "forgiving-gtft(beta=0.9,r0=3,trig=2,clean=2)");
+  EXPECT_EQ(s.beta(), 0.9);
+  EXPECT_EQ(s.window_stages(), 3);
+  EXPECT_EQ(s.trigger_stages(), 2);
+  EXPECT_EQ(s.clean_stages(), 2);
+}
+
+TEST(ForgivingGtftTest, OneNoisyStageNeverPunishes) {
+  // trigger_stages = 2: a single false-low read holds the window instead
+  // of matching it — the property that breaks the TFT ratchet.
+  ForgivingGtft s(20, 0.9, 1, 2, 2);
+  const History one_dip = make_history({{20, 20}, {20, 3}});
+  EXPECT_EQ(s.decide(one_dip, 0), 20);
+  // The same dip sustained for two stages is a real deviation: punish.
+  const History sustained = make_history({{20, 3}, {20, 3}});
+  EXPECT_EQ(s.decide(sustained, 0), 3);
+}
+
 TEST(ShortSightedTest, NeverAdapts) {
   ShortSightedStrategy s(12);
   EXPECT_EQ(s.initial_cw(), 12);

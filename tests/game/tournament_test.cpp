@@ -110,6 +110,23 @@ TEST(TournamentTest, InvasionMatrixShapesUp) {
   EXPECT_FALSE(matrix[2][3]);
 }
 
+TEST(TournamentTest, RosterNamesCarryFullParameterSets) {
+  const StageGame game(kParams, kBasic);
+  const auto roster = standard_roster(game, 5, 19);
+  ASSERT_EQ(roster.size(), 6u);
+  // Every contender's display name is its strategy's own name() — the
+  // full parameter set, so bench tables disambiguate configurations.
+  for (const auto& contender : roster) {
+    EXPECT_EQ(contender.name, contender.make()->name());
+  }
+  EXPECT_EQ(roster[0].name, "tft");
+  EXPECT_EQ(roster[1].name, "gtft(beta=0.9,r0=3)");
+  EXPECT_EQ(roster[2].name, "constant(19)");
+  EXPECT_EQ(roster[3].name, "short-sighted(4)");
+  EXPECT_EQ(roster[4].name, "contrite-tft(w=19,k=3)");
+  EXPECT_EQ(roster[5].name, "forgiving-gtft(beta=0.9,r0=3,trig=2,clean=2)");
+}
+
 TEST(TournamentTest, RoundRobinScoresFavorPunishers) {
   const StageGame game(kParams, kBasic);
   const int w_star = EquilibriumFinder(game, 5).efficient_cw();

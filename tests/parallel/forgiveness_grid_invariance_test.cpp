@@ -1,0 +1,78 @@
+// Jobs-invariance of the forgiveness grid: the exact table rows
+// bench_fault_resilience prints (game::forgiveness_row strings) must be
+// byte-identical whether the cells are computed serially or fanned out
+// across a thread pool — cells are pure functions of (game, spec), and
+// reduction happens in slot order.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/forgiveness_grid.hpp"
+#include "game/stage_game.hpp"
+#include "gtest/gtest.h"
+#include "parallel/replication.hpp"
+#include "parallel/thread_pool.hpp"
+#include "phy/parameters.hpp"
+
+namespace {
+
+using namespace smac;
+
+TEST(ForgivenessGridInvariance, RowsAreByteIdenticalAcrossJobs) {
+  const game::StageGame game(phy::Parameters::paper(),
+                             phy::AccessMode::kRtsCts);
+  // A miniature of the bench grid: both noise levels, no filter vs
+  // median, all four reaction rules — 16 cells, seeded exactly like the
+  // bench (one injector stream per noise level).
+  std::vector<game::ForgivenessCellSpec> specs;
+  const std::vector<double> noise_levels{0.05, 0.15};
+  for (std::size_t a = 0; a < noise_levels.size(); ++a) {
+    for (const game::FilterKind kind :
+         {game::FilterKind::kNone, game::FilterKind::kMedian}) {
+      for (const game::ReactionRule rule :
+           {game::ReactionRule::kTft, game::ReactionRule::kGtft,
+            game::ReactionRule::kContriteTft,
+            game::ReactionRule::kForgivingGtft}) {
+        game::ForgivenessCellSpec spec;
+        spec.rule = rule;
+        spec.filter.kind = kind;
+        spec.filter.window = 5;
+        spec.noise_probability = noise_levels[a];
+        spec.stages = 40;  // enough to diverge, cheap enough for a test
+        spec.w_coop = 19;
+        spec.seed = parallel::stream_seed(0xfa57 ^ 0xf0, a);
+        specs.push_back(spec);
+      }
+    }
+  }
+
+  auto rows_at = [&](std::size_t jobs) {
+    std::vector<std::vector<std::string>> rows(specs.size());
+    if (jobs == 1) {
+      for (std::size_t k = 0; k < specs.size(); ++k) {
+        rows[k] = game::forgiveness_row(
+            specs[k], game::run_forgiveness_cell(game, specs[k]));
+      }
+    } else {
+      parallel::ThreadPool pool(jobs);
+      pool.for_each_index(specs.size(), [&](std::size_t k) {
+        rows[k] = game::forgiveness_row(
+            specs[k], game::run_forgiveness_cell(game, specs[k]));
+      });
+    }
+    return rows;
+  };
+
+  const auto serial = rows_at(1);
+  const auto fanned = rows_at(4);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k], fanned[k]) << "cell " << k;
+  }
+  // Sanity on the content itself: every row carries the full grid shape.
+  for (const auto& row : serial) {
+    ASSERT_EQ(row.size(), 8u);
+  }
+}
+
+}  // namespace
