@@ -9,6 +9,12 @@
 // cold vs warm-started re-solves of a perturbed profile — the
 // best-response inner-loop access pattern.
 //
+// Also records a solves/sec throughput trajectory for the lockstep batch
+// kernel (try_solve_classes_batch) at batch sizes 1/16/256/4096, cold
+// (distinct profiles, no hints) and warm (re-solves seeded with their own
+// solution — the repeated-game stage pattern), plus one SolverService
+// drain of deduplicated requests.
+//
 // Usage: bench_solver_json [output.json]   (default BENCH_solver.json in
 // the working directory). Wall-clock numbers obviously vary by machine;
 // the JSON is a trajectory record, not a determinism surface.
@@ -19,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "analytical/batch_solver.hpp"
 #include "analytical/fixed_point_solver.hpp"
+#include "analytical/solver_service.hpp"
 
 namespace {
 
@@ -87,6 +95,71 @@ Point measure(int n, int k, int reps) {
   return p;
 }
 
+struct ThroughputPoint {
+  int batch = 0;
+  double cold_ns = 0.0;  ///< amortized ns per solve, distinct profiles
+  double warm_ns = 0.0;  ///< amortized ns per solve, self-seeded re-solves
+};
+
+/// `count` distinct (n = 50, k = 3-ish) instances: each perturbs a
+/// different window of the base mix, so a cold batch really solves
+/// `count` different class systems.
+std::vector<analytical::ClassProfileInstance> cold_batch(int count) {
+  const std::vector<int> base = class_mixed_profile(50, 3);
+  std::vector<analytical::ClassProfileInstance> instances(
+      static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> profile = base;
+    profile[static_cast<std::size_t>(i) % profile.size()] += 1 + i % 97;
+    instances[static_cast<std::size_t>(i)].classes =
+        analytical::classify_profile(profile);
+    instances[static_cast<std::size_t>(i)].max_stage = 6;
+  }
+  return instances;
+}
+
+/// `count` re-solves of one profile, each seeded with its own solution —
+/// the repeated-game stage pattern the warm rung exists for.
+std::vector<analytical::ClassProfileInstance> warm_batch(int count) {
+  analytical::ClassProfileInstance proto;
+  proto.classes = analytical::classify_profile(class_mixed_profile(50, 3));
+  proto.max_stage = 6;
+  const analytical::TrySolveResult solved = analytical::try_solve_classes(
+      proto.classes, proto.max_stage, proto.opts, proto.packet_error_rate);
+  proto.opts.initial_tau = solved.state.tau;
+  return std::vector<analytical::ClassProfileInstance>(
+      static_cast<std::size_t>(count), proto);
+}
+
+ThroughputPoint measure_throughput(int batch) {
+  // Large batches amortize per-call noise themselves; fewer reps keep the
+  // bench fast without hurting the median.
+  const int reps = batch >= 256 ? 11 : 31;
+  ThroughputPoint point;
+  point.batch = batch;
+  {
+    const auto instances = cold_batch(batch);
+    point.cold_ns =
+        median_ns(reps, [&] {
+          (void)analytical::try_solve_classes_batch(instances);
+        }) /
+        batch;
+  }
+  {
+    const auto instances = warm_batch(batch);
+    point.warm_ns =
+        median_ns(reps, [&] {
+          (void)analytical::try_solve_classes_batch(instances);
+        }) /
+        batch;
+  }
+  return point;
+}
+
+double solves_per_sec(double ns_per_solve) {
+  return ns_per_solve > 0.0 ? 1e9 / ns_per_solve : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +201,34 @@ int main(int argc, char** argv) {
     (void)analytical::try_solve_network(profile, 6, warm_opts);
   });
 
+  // Batch-kernel throughput trajectory (amortized ns/solve), plus one
+  // SolverService drain: 1024 requests over 512 distinct profiles — the
+  // dedup-then-batch path a tournament prefetch takes. A fresh service
+  // per sample keeps every drain cold.
+  std::vector<ThroughputPoint> throughput;
+  for (const int batch : {1, 16, 256, 4096}) {
+    throughput.push_back(measure_throughput(batch));
+  }
+  const int service_requests = 1024;
+  const int service_distinct = 512;
+  const auto service_instances = cold_batch(service_distinct);
+  const double service_ns =
+      median_ns(11, [&] {
+        analytical::SolverService service;
+        for (int r = 0; r < service_requests; ++r) {
+          const auto& classes =
+              service_instances[static_cast<std::size_t>(r % service_distinct)]
+                  .classes;
+          std::vector<int> w(classes.node_count());
+          for (std::size_t i = 0; i < w.size(); ++i) {
+            w[i] = classes.window[static_cast<std::size_t>(classes.class_of[i])];
+          }
+          (void)service.submit(std::move(w), 6, 0.0);
+        }
+        service.drain();
+      }) /
+      service_requests;
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -159,6 +260,30 @@ int main(int argc, char** argv) {
                cold_ns, warm_ns, warm_ns > 0.0 ? cold_ns / warm_ns : 0.0,
                cold_same_ns, warm_same_ns,
                warm_same_ns > 0.0 ? cold_same_ns / warm_same_ns : 0.0);
+  std::fprintf(out, "  ,\"throughput\": {\n");
+  std::fprintf(out,
+               "    \"unit\": \"amortized ns/solve and solves/sec over the "
+               "batch\",\n");
+  std::fprintf(out,
+               "    \"baseline_warm_single_ns\": %.0f,\n", warm_same_ns);
+  std::fprintf(out, "    \"batch\": [\n");
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputPoint& t = throughput[i];
+    std::fprintf(out,
+                 "      {\"batch\": %d, \"cold_ns\": %.0f, "
+                 "\"cold_solves_per_sec\": %.0f, \"warm_ns\": %.0f, "
+                 "\"warm_solves_per_sec\": %.0f}%s\n",
+                 t.batch, t.cold_ns, solves_per_sec(t.cold_ns), t.warm_ns,
+                 solves_per_sec(t.warm_ns),
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"service\": {\"requests\": %d, \"distinct\": %d, "
+               "\"ns_per_request\": %.0f, \"requests_per_sec\": %.0f}\n",
+               service_requests, service_distinct, service_ns,
+               solves_per_sec(service_ns));
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
 
@@ -175,6 +300,18 @@ int main(int argc, char** argv) {
               cold_ns, warm_ns, warm_ns > 0.0 ? cold_ns / warm_ns : 0.0,
               cold_same_ns, warm_same_ns,
               warm_same_ns > 0.0 ? cold_same_ns / warm_same_ns : 0.0);
+  std::printf("batch throughput (n=50, k=3; amortized ns/solve):\n");
+  std::printf("%-7s %12s %18s %12s %18s\n", "batch", "cold ns", "cold solves/s",
+              "warm ns", "warm solves/s");
+  for (const ThroughputPoint& t : throughput) {
+    std::printf("%-7d %12.0f %18.0f %12.0f %18.0f\n", t.batch, t.cold_ns,
+                solves_per_sec(t.cold_ns), t.warm_ns,
+                solves_per_sec(t.warm_ns));
+  }
+  std::printf("service drain: %d requests (%d distinct) at %.0f ns/request "
+              "(%.0f requests/s)\n",
+              service_requests, service_distinct, service_ns,
+              solves_per_sec(service_ns));
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,48 @@
+// Structure-of-arrays batch solver: many independent class-space solves in
+// lockstep.
+//
+// Tournaments, deviation scans, and detection/reaction loops generate
+// thousands of independent (class-profile, PER) instances per run; solving
+// them one try_solve_classes call at a time leaves the whole retry ladder's
+// bookkeeping (start vectors, rung transitions) on the critical path of
+// every instance. try_solve_classes_batch instead advances every instance
+// by one damped iteration per sweep over a contiguous arena: the
+// prefix/suffix product inner loop runs back to back across instances,
+// finished instances drop out via a convergence mask without
+// desynchronizing the sweep, and rung start vectors are computed lazily on
+// rung entry (a warm-started instance that converges on its warm rung
+// never pays for the seeded start's scalar Brent solve).
+//
+// Contract: the batch result is **bitwise identical** to calling
+// try_solve_classes on each instance in isolation — both paths run the
+// same per-instance ladder state machine (this file is the single
+// implementation; try_solve_classes is a batch of one), and no arithmetic
+// ever crosses instances. Pinned over a seeded (n, k, PER, batch-size)
+// grid by tests/analytical/batch_solver_test.cpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analytical/fixed_point_solver.hpp"
+
+namespace smac::analytical {
+
+/// One independent solve request: a class system plus its model knobs.
+/// Same preconditions as try_solve_classes (non-empty classes, windows
+/// >= 1, max_stage >= 0, PER in [0, 1)); opts.initial_tau is the
+/// per-instance warm start (class- or node-sized, see SolverOptions).
+struct ClassProfileInstance {
+  ClassProfile classes;
+  int max_stage = 0;
+  double packet_error_rate = 0.0;
+  SolverOptions opts;
+};
+
+/// Solves every instance and returns one TrySolveResult per instance, in
+/// input order (class-space tau/p — use expand_classes for per-node
+/// vectors). An empty span yields an empty vector.
+std::vector<TrySolveResult> try_solve_classes_batch(
+    std::span<const ClassProfileInstance> instances);
+
+}  // namespace smac::analytical

@@ -6,24 +6,12 @@
 #include <stdexcept>
 
 #include "analytical/backoff_chain.hpp"
+#include "analytical/batch_solver.hpp"
 #include "util/root_finding.hpp"
 
 namespace smac::analytical {
 
 namespace {
-
-/// x^e for integer e >= 0 by binary exponentiation: O(log e) multiplies
-/// with a deterministic operation order (std::pow(double, double) would
-/// work but routes through exp/log on some libms).
-double ipow(double x, int e) {
-  double result = 1.0;
-  while (e > 0) {
-    if (e & 1) result *= x;
-    x *= x;
-    e >>= 1;
-  }
-  return result;
-}
 
 /// p_i = 1 − Π_{j≠i}(1 − τ_j), all i, via prefix/suffix products: O(n),
 /// and exact even when some τ_j → 1 (no division by (1 − τ_i)).
@@ -45,30 +33,6 @@ std::vector<double> collision_probabilities(const std::vector<double>& tau) {
   return p;
 }
 
-/// Class-space collision probabilities,
-///   p_c = 1 − (1 − τ_c)^(m_c − 1) · Π_{c'≠c} (1 − τ_{c'})^{m_{c'}},
-/// via prefix/suffix products over the per-class factors
-/// g_c = (1 − τ_c)^{m_c}: O(k + Σ log m_c), no division (exact at τ → 1).
-std::vector<double> class_collision_probabilities(
-    const std::vector<double>& tau, const std::vector<int>& multiplicity) {
-  const std::size_t k = tau.size();
-  std::vector<double> prefix(k + 1, 1.0);
-  std::vector<double> suffix(k + 1, 1.0);
-  for (std::size_t c = 0; c < k; ++c) {
-    prefix[c + 1] = prefix[c] * ipow(1.0 - tau[c], multiplicity[c]);
-  }
-  for (std::size_t c = k; c-- > 0;) {
-    suffix[c] = suffix[c + 1] * ipow(1.0 - tau[c], multiplicity[c]);
-  }
-  std::vector<double> p(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    const double own = ipow(1.0 - tau[c], multiplicity[c] - 1);
-    p[c] = 1.0 - own * prefix[c] * suffix[c + 1];
-    p[c] = std::clamp(p[c], 0.0, 1.0);
-  }
-  return p;
-}
-
 /// One damped-iteration rung on the *full* per-node system (reference
 /// kernel) starting from `tau0`; returns the raw fixed-point result.
 util::FixedPointResult damped_rung(const std::vector<int>& w, int max_stage,
@@ -84,33 +48,6 @@ util::FixedPointResult damped_rung(const std::vector<int>& w, int max_stage,
     for (std::size_t i = 0; i < n; ++i) {
       const double fail = 1.0 - (1.0 - p[i]) * (1.0 - per);
       next[i] = transmission_probability(w[i], fail, max_stage);
-    }
-    return next;
-  };
-  util::FixedPointOptions fp;
-  fp.damping = damping;
-  fp.tolerance = tolerance;
-  fp.max_iterations = max_iterations;
-  return util::solve_fixed_point(F, std::move(tau0), fp);
-}
-
-/// One damped-iteration rung on the collapsed k-class system. Same map as
-/// damped_rung — nodes of a class are exchangeable, so iterating one
-/// representative per class visits exactly the class-symmetric iterates of
-/// the full system (up to per-iteration rounding).
-util::FixedPointResult class_damped_rung(const ClassProfile& classes,
-                                         int max_stage, double per,
-                                         std::vector<double> tau0,
-                                         double damping, double tolerance,
-                                         int max_iterations) {
-  const std::size_t k = classes.class_count();
-  auto F = [&](const std::vector<double>& tau) {
-    const std::vector<double> p =
-        class_collision_probabilities(tau, classes.multiplicity);
-    std::vector<double> next(k);
-    for (std::size_t c = 0; c < k; ++c) {
-      const double fail = 1.0 - (1.0 - p[c]) * (1.0 - per);
-      next[c] = transmission_probability(classes.window[c], fail, max_stage);
     }
     return next;
   };
@@ -141,51 +78,11 @@ NetworkState state_from(util::FixedPointResult r) {
   return state;
 }
 
-NetworkState class_state_from(util::FixedPointResult r,
-                              const std::vector<int>& multiplicity) {
-  NetworkState state;
-  state.tau = std::move(r.x);
-  sanitize(state.tau);
-  state.p = class_collision_probabilities(state.tau, multiplicity);
-  state.converged = r.converged;
-  state.iterations = r.iterations;
-  state.residual = r.residual;
-  return state;
-}
-
 bool validate_inputs(const std::vector<int>& w, int max_stage, double per) {
   const bool windows_valid =
       std::all_of(w.begin(), w.end(), [](int wi) { return wi >= 1; });
   return !w.empty() && windows_valid && max_stage >= 0 && per >= 0.0 &&
          per < 1.0;
-}
-
-/// Collapses a caller warm start into class space: accepts per-class
-/// (size k, used as-is) or per-node (size n, class-averaged — the mean is
-/// invariant under node permutations of a class-consistent hint). Any
-/// other size, or non-finite entries, disqualifies the warm rung.
-std::vector<double> collapse_initial_tau(const std::vector<double>& initial,
-                                         const ClassProfile& classes) {
-  const std::size_t k = classes.class_count();
-  std::vector<double> tau0;
-  if (initial.size() == k) {
-    tau0 = initial;
-  } else if (initial.size() == classes.node_count()) {
-    tau0.assign(k, 0.0);
-    for (std::size_t i = 0; i < initial.size(); ++i) {
-      tau0[static_cast<std::size_t>(classes.class_of[i])] += initial[i];
-    }
-    for (std::size_t c = 0; c < k; ++c) {
-      tau0[c] /= static_cast<double>(classes.multiplicity[c]);
-    }
-  } else {
-    return {};
-  }
-  for (const double t : tau0) {
-    if (!std::isfinite(t)) return {};
-  }
-  for (double& t : tau0) t = std::clamp(t, 0.0, 1.0);
-  return tau0;
 }
 
 }  // namespace
@@ -238,138 +135,18 @@ NetworkState expand_classes(const NetworkState& class_state,
 TrySolveResult try_solve_classes(const ClassProfile& classes, int max_stage,
                                  const SolverOptions& opts,
                                  double packet_error_rate) {
-  TrySolveResult out;
-  const std::size_t k = classes.class_count();
-  const double per = packet_error_rate;
-  const int n = static_cast<int>(classes.node_count());
-
-  // k = 1: the profile is homogeneous — the whole system is one scalar
-  // root problem, solved by the Brent/bisection ladder at machine
-  // precision regardless of the caller's iteration budget.
-  if (k == 1) {
-    const TryTauResult tau = try_homogeneous_tau(
-        static_cast<double>(classes.window[0]), n, max_stage, per);
-    if (usable(tau.diagnostics.status)) {
-      out.state.tau.assign(1, tau.tau);
-      out.state.p = class_collision_probabilities(out.state.tau,
-                                                  classes.multiplicity);
-      out.state.converged =
-          tau.diagnostics.status == SolveStatus::kConverged;
-      out.state.iterations = tau.diagnostics.iterations;
-      out.state.residual = tau.diagnostics.residual;
-      out.diagnostics = tau.diagnostics;
-      return out;
-    }
-    // Unusable scalar solve (cannot happen for validated inputs, but the
-    // damped ladder below still applies): fall through.
-  }
-
-  // Canonical starts. "seeded" warm-starts every class from the
-  // homogeneous mean-window fixed point — a pure function of the class
-  // system (mean taken in canonical class order), so it is safe to share
-  // through caches and cheap (one scalar Brent solve). It lands close
-  // enough to the heterogeneous fixed point that starved iteration
-  // budgets (fuzz fixtures at max_iterations = 60) converge where the
-  // cold start only degrades.
-  std::vector<double> cold(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    cold[c] = transmission_probability(classes.window[c], 0.0, max_stage);
-  }
-  std::vector<double> hot(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    hot[c] = transmission_probability(classes.window[c], 0.9, max_stage);
-  }
-  std::vector<double> seeded;
-  {
-    double mean_window = 0.0;
-    for (std::size_t c = 0; c < k; ++c) {
-      mean_window += static_cast<double>(classes.multiplicity[c]) *
-                     static_cast<double>(classes.window[c]);
-    }
-    mean_window /= static_cast<double>(n);
-    const TryTauResult hom =
-        try_homogeneous_tau(mean_window, n, max_stage, per);
-    if (usable(hom.diagnostics.status)) {
-      const double p_hom =
-          n == 1 ? 0.0 : 1.0 - ipow(1.0 - hom.tau, n - 1);
-      const double fail_hom = 1.0 - (1.0 - p_hom) * (1.0 - per);
-      seeded.resize(k);
-      for (std::size_t c = 0; c < k; ++c) {
-        seeded[c] =
-            transmission_probability(classes.window[c], fail_hom, max_stage);
-      }
-    }
-  }
-  const std::vector<double> warm =
-      opts.initial_tau.empty()
-          ? std::vector<double>{}
-          : collapse_initial_tau(opts.initial_tau, classes);
-
-  // Retry ladder: the caller's warm start (if any), the seeded start, the
-  // cold base attempt, then escalated damping and a heavily damped
-  // restart from a high-collision point.
-  struct Rung {
-    const char* method;
-    const std::vector<double>* start;
-    double damping;
-    int iteration_scale;
-  };
-  std::vector<Rung> ladder;
-  if (!warm.empty()) ladder.push_back({"warm", &warm, opts.damping, 1});
-  if (!seeded.empty()) ladder.push_back({"seeded", &seeded, opts.damping, 1});
-  ladder.push_back({"damped", &cold, opts.damping, 1});
-  ladder.push_back({"redamped", &cold, std::max(opts.damping, 0.85), 2});
-  ladder.push_back({"restart", &hot, std::max(opts.damping, 0.95), 2});
-
-  NetworkState best;
-  best.residual = std::numeric_limits<double>::infinity();
-  const char* best_method = "damped";
-  int total_iterations = 0;
-  int retries = 0;
-  for (const Rung& rung : ladder) {
-    util::FixedPointResult r = class_damped_rung(
-        classes, max_stage, per, *rung.start, rung.damping, opts.tolerance,
-        opts.max_iterations * rung.iteration_scale);
-    total_iterations += r.iterations;
-    NetworkState state = class_state_from(std::move(r), classes.multiplicity);
-    if (state.converged || state.residual < best.residual) {
-      best = std::move(state);
-      best_method = rung.method;
-    }
-    if (best.converged) break;
-    ++retries;
-  }
-
-  // Polish rung: every earlier rung restarts from a fixed point-agnostic
-  // start, discarding the progress of its predecessors. Continuing from
-  // the best iterate instead compounds that progress — under starved
-  // iteration budgets (fuzz fixtures at max_iterations = 60) this is what
-  // turns near-miss kDegraded outcomes into kConverged.
-  if (!best.converged && std::isfinite(best.residual) &&
-      best.tau.size() == k) {
-    util::FixedPointResult r =
-        class_damped_rung(classes, max_stage, per, best.tau, opts.damping,
-                          opts.tolerance, opts.max_iterations * 2);
-    total_iterations += r.iterations;
-    ++retries;
-    NetworkState state = class_state_from(std::move(r), classes.multiplicity);
-    if (state.converged || state.residual < best.residual) {
-      best = std::move(state);
-      best_method = "polish";
-    }
-  }
-
-  out.diagnostics.iterations = total_iterations;
-  out.diagnostics.retries = retries;
-  out.diagnostics.residual = best.residual;
-  out.diagnostics.method = best_method;
-  out.diagnostics.status = best.converged              ? SolveStatus::kConverged
-                           : best.residual <= kDegradedResidual
-                               ? SolveStatus::kDegraded
-                               : SolveStatus::kFailed;
-  best.converged = out.diagnostics.status == SolveStatus::kConverged;
-  out.state = std::move(best);
-  return out;
+  // A batch of one: the lockstep kernel in batch_solver.cpp is the single
+  // implementation of the retry ladder, so the sequential and batched
+  // entry points cannot drift apart (the bitwise-identity contract of
+  // try_solve_classes_batch is trivially true for this call).
+  ClassProfileInstance instance;
+  instance.classes = classes;
+  instance.max_stage = max_stage;
+  instance.packet_error_rate = packet_error_rate;
+  instance.opts = opts;
+  std::vector<TrySolveResult> results =
+      try_solve_classes_batch({&instance, 1});
+  return std::move(results.front());
 }
 
 TrySolveResult try_solve_network(const std::vector<int>& w, int max_stage,

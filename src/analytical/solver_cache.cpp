@@ -1,6 +1,7 @@
 #include "analytical/solver_cache.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace smac::analytical {
 
@@ -100,6 +101,76 @@ TrySolveResult NetworkSolveCache::solve(const std::vector<int>& w,
     }
   }
   return out;
+}
+
+std::optional<TrySolveResult> NetworkSolveCache::lookup_classes(
+    const ClassProfile& classes, int max_stage, double packet_error_rate,
+    std::uint64_t requests) const {
+  const Key key{classes.window, classes.multiplicity, max_stage,
+                packet_error_rate};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    hits_ += requests;
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void NetworkSolveCache::adopt_classes(const ClassProfile& classes,
+                                      int max_stage, double packet_error_rate,
+                                      TrySolveResult collapsed,
+                                      std::uint64_t requests) const {
+  Key key{classes.window, classes.multiplicity, max_stage,
+          packet_error_rate};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    // A writer beat the caller to the key: same loser-observes-winner
+    // accounting as solve().
+    hits_ += requests;
+    return;
+  }
+  ++misses_;
+  hits_ += requests - 1;
+  if (cache_.size() < max_entries_) {
+    cache_.emplace(std::move(key), std::move(collapsed));
+  }
+}
+
+void NetworkSolveCache::tally(std::uint64_t hits, std::uint64_t misses) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_ += hits;
+  misses_ += misses;
+}
+
+std::optional<std::vector<double>> NetworkSolveCache::neighbor_hint(
+    const ClassProfile& classes, int max_stage,
+    double packet_error_rate) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key* best_key = nullptr;
+  const TrySolveResult* best_value = nullptr;
+  long long best_distance = 0;
+  for (const auto& [key, value] : cache_) {
+    if (key.max_stage != max_stage ||
+        key.packet_error_rate != packet_error_rate ||
+        key.multiplicity != classes.multiplicity ||
+        !usable(value.diagnostics.status)) {
+      continue;
+    }
+    long long distance = 0;
+    for (std::size_t c = 0; c < key.window.size(); ++c) {
+      distance += std::abs(static_cast<long long>(key.window[c]) -
+                           static_cast<long long>(classes.window[c]));
+    }
+    if (distance == 0) continue;  // exact key: that is a hit, not a hint
+    if (best_key == nullptr || distance < best_distance ||
+        (distance == best_distance && key.window < best_key->window)) {
+      best_key = &key;
+      best_value = &value;
+      best_distance = distance;
+    }
+  }
+  if (best_value == nullptr) return std::nullopt;
+  return best_value->state.tau;
 }
 
 std::size_t NetworkSolveCache::size() const {

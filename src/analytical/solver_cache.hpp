@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,48 @@ class NetworkSolveCache {
   /// the canonical class system).
   TrySolveResult solve(const std::vector<int>& w, int max_stage,
                        double packet_error_rate) const;
+
+  /// The SolverOptions every entry of this cache was (or will be) solved
+  /// with — initial_tau already stripped.
+  const SolverOptions& options() const noexcept { return opts_; }
+
+  /// Class-space lookup for a batching layer: returns the cached
+  /// *class-space* result (tau/p sized k — callers expand with their own
+  /// ClassProfile), or nullopt on a miss. A hit counts `requests` hits
+  /// (one per pending request the caller is answering from it); a miss
+  /// counts nothing — the miss side of the tally happens in
+  /// adopt_classes, mirroring solve()'s insert-time classification.
+  std::optional<TrySolveResult> lookup_classes(const ClassProfile& classes,
+                                               int max_stage,
+                                               double packet_error_rate,
+                                               std::uint64_t requests) const;
+
+  /// Adopts an externally computed class-space result for the canonical
+  /// key of `classes`. Tally mirrors what `requests` sequential solve()
+  /// calls would have produced: if the key appeared while the caller was
+  /// solving (a racing writer) all `requests` count as hits; otherwise
+  /// one miss plus `requests − 1` hits, and the result is inserted
+  /// (subject to max_entries). The result must come from the cache's own
+  /// options() with no warm start, or cached values stop being pure
+  /// functions of the key.
+  void adopt_classes(const ClassProfile& classes, int max_stage,
+                     double packet_error_rate, TrySolveResult collapsed,
+                     std::uint64_t requests) const;
+
+  /// Bumps the traffic counters without touching entries — for batching
+  /// layers that answer requests outside the cache (e.g. warm-started
+  /// solves that must not be inserted).
+  void tally(std::uint64_t hits, std::uint64_t misses) const;
+
+  /// Deterministic warm-start hint: the class tau of the cached usable
+  /// entry with the same (multiplicity, max_stage, PER) and the smallest
+  /// L1 window distance (lexicographically smallest window on ties).
+  /// Scans the cache (O(size)); nullopt when nothing matches. Solutions
+  /// started from a hint may differ from cold solves in the last ulp, so
+  /// they must never be adopted back into the cache.
+  std::optional<std::vector<double>> neighbor_hint(
+      const ClassProfile& classes, int max_stage,
+      double packet_error_rate) const;
 
   std::size_t size() const;
   std::uint64_t hits() const;

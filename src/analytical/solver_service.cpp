@@ -1,0 +1,190 @@
+#include "analytical/solver_service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace smac::analytical {
+
+namespace {
+
+bool valid_solve_inputs(const std::vector<int>& w, int max_stage,
+                        double per) {
+  const bool windows_valid =
+      std::all_of(w.begin(), w.end(), [](int wi) { return wi >= 1; });
+  return !w.empty() && windows_valid && max_stage >= 0 && per >= 0.0 &&
+         per < 1.0;
+}
+
+TrySolveResult expand_result(const TrySolveResult& collapsed,
+                             const ClassProfile& classes) {
+  TrySolveResult out;
+  out.state = expand_classes(collapsed.state, classes);
+  out.diagnostics = collapsed.diagnostics;
+  return out;
+}
+
+}  // namespace
+
+const TrySolveResult& SolverService::Ticket::result() const {
+  if (request_ == nullptr) {
+    throw std::logic_error("SolverService::Ticket: empty ticket");
+  }
+  // Pending in the queue: our drain fulfills it. In another thread's
+  // in-flight drain: our drain blocks on the drain mutex until that one
+  // finishes, at which point done is set.
+  while (!request_->done.load(std::memory_order_acquire)) {
+    service_->drain();
+  }
+  return request_->result;
+}
+
+SolverService::SolverService(Options options)
+    : options_(std::move(options)),
+      cache_(options_.solver, options_.max_cache_entries) {
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+}
+
+SolverService::Ticket SolverService::submit(std::vector<int> w, int max_stage,
+                                            double packet_error_rate) const {
+  auto request = std::make_shared<Ticket::Request>();
+  request->w = std::move(w);
+  request->max_stage = max_stage;
+  request->packet_error_rate = packet_error_rate;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    pending_.push_back(request);
+  }
+  return Ticket(this, std::move(request));
+}
+
+void SolverService::drain() const {
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  std::vector<std::shared_ptr<Ticket::Request>> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) return;
+
+  // Group requests onto canonical symmetry-class keys in deterministic
+  // (ordered-map) order, so tally and adoption order are a function of
+  // the request set alone — never of submission interleaving.
+  struct Pending {
+    Ticket::Request* request;
+    ClassProfile classes;
+  };
+  using GroupKey = std::tuple<std::vector<int>, std::vector<int>, int, double>;
+  std::map<GroupKey, std::vector<Pending>> groups;
+  for (const auto& request : batch) {
+    if (!valid_solve_inputs(request->w, request->max_stage,
+                            request->packet_error_rate)) {
+      // Same path as NetworkSolveCache::solve on invalid inputs: one
+      // miss, no entry, the solver's own kFailed/"invalid" result.
+      cache_.tally(0, 1);
+      request->result =
+          try_solve_network(request->w, request->max_stage, cache_.options(),
+                            request->packet_error_rate);
+      request->done.store(true, std::memory_order_release);
+      continue;
+    }
+    ClassProfile classes = classify_profile(request->w);
+    GroupKey key{classes.window, classes.multiplicity, request->max_stage,
+                 request->packet_error_rate};
+    groups[std::move(key)].push_back({request.get(), std::move(classes)});
+  }
+
+  // Answer cached keys, collect the misses.
+  struct Miss {
+    std::vector<Pending>* requests;
+    bool hinted = false;
+  };
+  std::vector<ClassProfileInstance> instances;
+  std::vector<Miss> misses;
+  for (auto& [key, requests] : groups) {
+    const Pending& head = requests.front();
+    if (const auto cached = cache_.lookup_classes(
+            head.classes, head.request->max_stage,
+            head.request->packet_error_rate, requests.size())) {
+      for (Pending& pending : requests) {
+        pending.request->result = expand_result(*cached, pending.classes);
+        pending.request->done.store(true, std::memory_order_release);
+      }
+      continue;
+    }
+    ClassProfileInstance instance;
+    instance.classes = head.classes;
+    instance.max_stage = head.request->max_stage;
+    instance.packet_error_rate = head.request->packet_error_rate;
+    instance.opts = cache_.options();
+    Miss miss{&requests, false};
+    if (options_.warm_start_neighbors) {
+      if (auto hint = cache_.neighbor_hint(head.classes, instance.max_stage,
+                                           instance.packet_error_rate)) {
+        instance.opts.initial_tau = std::move(*hint);
+        miss.hinted = true;
+      }
+    }
+    instances.push_back(std::move(instance));
+    misses.push_back(miss);
+  }
+
+  // Solve the distinct misses in lockstep, chunked across the pool when
+  // one is configured. Instances are independent, so the chunking (and
+  // the pool itself) cannot change a single bit of any result.
+  std::vector<TrySolveResult> solved(instances.size());
+  if (options_.pool != nullptr && instances.size() > 1) {
+    std::vector<std::future<void>> chunks;
+    for (std::size_t begin = 0; begin < instances.size();
+         begin += options_.chunk_size) {
+      const std::size_t length =
+          std::min(options_.chunk_size, instances.size() - begin);
+      chunks.push_back(options_.pool->submit([&, begin, length] {
+        std::vector<TrySolveResult> part = try_solve_classes_batch(
+            {instances.data() + begin, length});
+        std::move(part.begin(), part.end(), solved.begin() + begin);
+      }));
+    }
+    for (auto& chunk : chunks) chunk.get();
+  } else if (!instances.empty()) {
+    solved = try_solve_classes_batch(instances);
+  }
+
+  // Adopt and fulfill in the same deterministic group order.
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    std::vector<Pending>& requests = *misses[m].requests;
+    const Pending& head = requests.front();
+    if (misses[m].hinted) {
+      // Warm-started: answer the requests but keep the cache pure —
+      // tally as a sequential run would have (first request misses, the
+      // duplicates hit).
+      cache_.tally(requests.size() - 1, 1);
+    } else {
+      cache_.adopt_classes(head.classes, head.request->max_stage,
+                           head.request->packet_error_rate, solved[m],
+                           requests.size());
+    }
+    for (Pending& pending : requests) {
+      pending.request->result = expand_result(solved[m], pending.classes);
+      pending.request->done.store(true, std::memory_order_release);
+    }
+  }
+}
+
+TrySolveResult SolverService::solve(const std::vector<int>& w, int max_stage,
+                                    double packet_error_rate) const {
+  return cache_.solve(w, max_stage, packet_error_rate);
+}
+
+std::size_t SolverService::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return pending_.size();
+}
+
+}  // namespace smac::analytical

@@ -45,16 +45,54 @@ ShortSightedOutcome shortsighted_outcome(const StageGame& game, int n,
 BestDeviation best_shortsighted_deviation(const StageGame& game, int n,
                                           int w_coop, double delta_s,
                                           int reaction_stages) {
-  BestDeviation best;
-  best.w_s = w_coop;
-  best.outcome =
-      shortsighted_outcome(game, n, w_coop, w_coop, delta_s, reaction_stages);
+  if (!(delta_s >= 0.0) || !(delta_s < 1.0)) {
+    throw std::invalid_argument("shortsighted_outcome: delta_s outside [0,1)");
+  }
+  if (reaction_stages < 1) {
+    throw std::invalid_argument("shortsighted_outcome: reaction_stages < 1");
+  }
+  if (n < 2) throw std::invalid_argument("deviation_stage_payoffs: n < 2");
+
   // The objective is not guaranteed unimodal across the whole range for
-  // every δ_s, and w_coop is small enough that an exhaustive scan is cheap.
-  for (int w = 1; w < w_coop; ++w) {
-    const ShortSightedOutcome o =
-        shortsighted_outcome(game, n, w_coop, w, delta_s, reaction_stages);
-    if (o.u_deviate > best.outcome.u_deviate) {
+  // every δ_s, and w_coop is small enough that an exhaustive scan is
+  // cheap. Every candidate's one-deviant profile is known upfront, so the
+  // scan submits them as one solver batch (w_coop itself first — the
+  // conforming baseline) instead of solving inline per candidate.
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<std::size_t>(w_coop));
+  candidates.push_back(w_coop);
+  for (int w = 1; w < w_coop; ++w) candidates.push_back(w);
+
+  std::vector<std::vector<int>> profiles;
+  profiles.reserve(candidates.size());
+  for (const int w : candidates) {
+    std::vector<int> profile(static_cast<std::size_t>(n), w_coop);
+    profile[0] = w;
+    profiles.push_back(std::move(profile));
+  }
+  const std::vector<StageGame::StagePayoffs> payoffs =
+      game.try_stage_utilities_batch(profiles);
+
+  const double symmetric = game.homogeneous_stage_utility(w_coop, n);
+  const double dm = std::pow(delta_s, reaction_stages);
+  BestDeviation best;
+  for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+    const int w = candidates[idx];
+    // Unusable solves fall back to the sequential path, which (like
+    // stage_utilities) evaluates utilities from the sanitized state
+    // regardless of status — a cache hit after the batch drain.
+    const double deviator =
+        analytical::usable(payoffs[idx].diagnostics.status)
+            ? payoffs[idx].utilities[0]
+            : game.stage_utilities(profiles[idx])[0];
+    const double u_all_ws = game.homogeneous_stage_utility(w, n);
+
+    ShortSightedOutcome o;
+    o.u_deviate = ((1.0 - dm) * deviator + dm * u_all_ws) / (1.0 - delta_s);
+    o.u_conform = symmetric / (1.0 - delta_s);
+    o.gain = o.u_deviate - o.u_conform;
+    o.profitable = o.gain > 0.0;
+    if (idx == 0 || o.u_deviate > best.outcome.u_deviate) {
       best.outcome = o;
       best.w_s = w;
     }

@@ -20,7 +20,7 @@ std::vector<double> StageGame::utility_rates(const std::vector<int>& w) const {
   // same profile stage after stage, and deviation scans revisit
   // permutations of one-deviant profiles — all of which collapse to a
   // handful of class keys.
-  const analytical::TrySolveResult solved = solve_cache_.solve(
+  const analytical::TrySolveResult solved = solver_.solve(
       w, params_.max_backoff_stage, params_.packet_error_rate);
   return analytical::utility_rates(solved.state, params_, mode_);
 }
@@ -43,7 +43,7 @@ StageGame::StagePayoffs StageGame::try_stage_utilities(
   }
   const double per = per_override.value_or(params_.packet_error_rate);
   const analytical::TrySolveResult solved =
-      solve_cache_.solve(w, params_.max_backoff_stage, per);
+      solver_.solve(w, params_.max_backoff_stage, per);
   StagePayoffs out;
   out.diagnostics = solved.diagnostics;
   if (analytical::usable(solved.diagnostics.status)) {
@@ -52,6 +52,49 @@ StageGame::StagePayoffs StageGame::try_stage_utilities(
     for (double& v : out.utilities) v *= t_us;
   }
   return out;
+}
+
+std::vector<StageGame::StagePayoffs> StageGame::try_stage_utilities_batch(
+    const std::vector<std::vector<int>>& profiles,
+    std::optional<double> per_override) const {
+  const double per = per_override.value_or(params_.packet_error_rate);
+  std::vector<analytical::SolverService::Ticket> tickets(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (!profiles[i].empty()) {
+      tickets[i] =
+          solver_.submit(profiles[i], params_.max_backoff_stage, per);
+    }
+  }
+  solver_.drain();
+  std::vector<StagePayoffs> out(profiles.size());
+  const double t_us = stage_duration_us();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].empty()) {
+      out[i].diagnostics.status = analytical::SolveStatus::kFailed;
+      out[i].diagnostics.method = "invalid";
+      continue;
+    }
+    const analytical::TrySolveResult& solved = tickets[i].result();
+    out[i].diagnostics = solved.diagnostics;
+    if (analytical::usable(solved.diagnostics.status)) {
+      out[i].utilities =
+          analytical::utility_rates(solved.state, params_, mode_);
+      for (double& v : out[i].utilities) v *= t_us;
+    }
+  }
+  return out;
+}
+
+void StageGame::prefetch_profiles(const std::vector<std::vector<int>>& profiles,
+                                  std::optional<double> per_override) const {
+  const double per = per_override.value_or(params_.packet_error_rate);
+  bool submitted = false;
+  for (const std::vector<int>& w : profiles) {
+    if (w.empty()) continue;
+    solver_.submit(w, params_.max_backoff_stage, per);
+    submitted = true;
+  }
+  if (submitted) solver_.drain();
 }
 
 double StageGame::homogeneous_utility_rate(int w, int n) const {

@@ -15,6 +15,7 @@
 
 #include "analytical/fixed_point_solver.hpp"
 #include "analytical/solver_cache.hpp"
+#include "analytical/solver_service.hpp"
 #include "phy/parameters.hpp"
 
 namespace smac::game {
@@ -58,6 +59,24 @@ class StageGame {
       const std::vector<int>& w,
       std::optional<double> per_override = std::nullopt) const;
 
+  /// Batched try_stage_utilities: submits every profile to the solver
+  /// service, drains once, and returns the payoffs in input order. Each
+  /// element is bitwise equal to the corresponding sequential
+  /// try_stage_utilities call (the batch kernel's identity contract);
+  /// only the solver work is shared — empty profiles short-circuit to the
+  /// same kFailed/"invalid" payoffs as the sequential path.
+  std::vector<StagePayoffs> try_stage_utilities_batch(
+      const std::vector<std::vector<int>>& profiles,
+      std::optional<double> per_override = std::nullopt) const;
+
+  /// Warms the solve cache for a set of profiles in one batched drain.
+  /// Later utility_rates / try_stage_utilities calls on these profiles
+  /// (or any permutation of them) are cache hits. Invalid profiles are
+  /// ignored.
+  void prefetch_profiles(const std::vector<std::vector<int>>& profiles,
+                         std::optional<double> per_override =
+                             std::nullopt) const;
+
   /// Utility rate of one node when all n nodes play w (memoized).
   double homogeneous_utility_rate(int w, int n) const;
 
@@ -75,7 +94,13 @@ class StageGame {
   /// print these to show how much of a run the class-canonical key
   /// deduplicates.
   analytical::SolveCacheStats solve_cache_stats() const {
-    return solve_cache_.stats();
+    return solver_.cache_stats();
+  }
+
+  /// The batched solver front end every heterogeneous evaluation routes
+  /// through (see docs/SOLVER_API.md).
+  const analytical::SolverService& solver_service() const noexcept {
+    return solver_;
   }
 
  private:
@@ -83,7 +108,7 @@ class StageGame {
   phy::AccessMode mode_;
   mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<int, int>, double> homogeneous_cache_;
-  mutable analytical::NetworkSolveCache solve_cache_;
+  mutable analytical::SolverService solver_;
 };
 
 }  // namespace smac::game

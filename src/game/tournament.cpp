@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +26,21 @@ void fan_out(std::size_t count, std::size_t jobs, Fn&& fn) {
   }
   parallel::ThreadPool pool(jobs);
   pool.for_each_index(count, std::forward<Fn>(fn));
+}
+
+/// Opening contention windows of a roster, or empty when any factory is
+/// null (the subsequent play_mix raises the error in that case).
+std::vector<int> opening_windows(const std::vector<Contender>& roster) {
+  if (!std::all_of(roster.begin(), roster.end(), [](const Contender& c) {
+        return static_cast<bool>(c.make);
+      })) {
+    return {};
+  }
+  std::vector<int> opening(roster.size());
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    opening[i] = roster[i].make()->initial_cw();
+  }
+  return opening;
 }
 
 }  // namespace
@@ -137,6 +153,22 @@ std::vector<std::vector<bool>> Tournament::invasion_matrix(
       if (i != j) pairs.emplace_back(i, j);
     }
   }
+  // Every pair's stage-0 profiles (one mutant among residents, and the
+  // pure-resident counterfactual) are known upfront: warm the shared
+  // solve cache in one batched drain so the fan-out's opening solves are
+  // hits instead of duplicated misses across workers.
+  if (const std::vector<int> opening = opening_windows(roster);
+      !opening.empty()) {
+    std::set<std::vector<int>> distinct;
+    for (const auto& [i, j] : pairs) {
+      std::vector<int> invaded(static_cast<std::size_t>(n_), opening[j]);
+      std::fill_n(invaded.begin(), n_ - 1, opening[i]);
+      distinct.insert(std::move(invaded));
+      distinct.insert(
+          std::vector<int>(static_cast<std::size_t>(n_), opening[i]));
+    }
+    game_.prefetch_profiles({distinct.begin(), distinct.end()});
+  }
   // std::vector<bool> is bit-packed, so concurrent writes to matrix[i][j]
   // would race; stage into a byte vector instead.
   std::vector<char> verdicts(pairs.size(), 0);
@@ -167,6 +199,19 @@ std::vector<double> Tournament::round_robin_scores(
         mixes.push_back({i, j, count_a});
       }
     }
+  }
+  // Same batched warm-up as invasion_matrix: every mix's stage-0 profile
+  // is a function of the two contenders' opening windows and count_a.
+  if (const std::vector<int> opening = opening_windows(roster);
+      !opening.empty()) {
+    std::set<std::vector<int>> distinct;
+    for (const Mix& mix : mixes) {
+      std::vector<int> profile(static_cast<std::size_t>(n_),
+                               opening[mix.j]);
+      std::fill_n(profile.begin(), mix.count_a, opening[mix.i]);
+      distinct.insert(std::move(profile));
+    }
+    game_.prefetch_profiles({distinct.begin(), distinct.end()});
   }
   std::vector<double> payoff_a(mixes.size(), 0.0);
   fan_out(mixes.size(), jobs_, [&](std::size_t k) {
