@@ -26,6 +26,16 @@ void RepeatedGameEngine::set_observation_filter(
   filter_ = ObservationFilter(config);
 }
 
+void RepeatedGameEngine::set_enforcement(
+    std::optional<ReactionConfig> config) {
+  if (config) {
+    // Fail fast on a bad config (including a detector geometry that
+    // cannot be built) instead of at the first play().
+    ReactionPolicy probe(game_, *config, strategies_.size());
+  }
+  enforcement_ = std::move(config);
+}
+
 RepeatedGameResult RepeatedGameEngine::play(int stages,
                                             fault::FaultInjector* injector) {
   if (stages < 1) throw std::invalid_argument("play: stages < 1");
@@ -36,10 +46,13 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
   }
   const double delta = game_.params().discount;
   // Per-player observed histories only matter when observations can be
-  // perturbed or smoothed; otherwise every player reads the true
-  // trajectory.
+  // perturbed, smoothed, or sanitized by enforcement; otherwise every
+  // player reads the true trajectory.
   const bool faulted_obs = injector && injector->plan().observation.enabled();
-  const bool per_view = faulted_obs || filter_.enabled();
+  const bool enforcing = enforcement_.has_value();
+  const bool per_view = faulted_obs || filter_.enabled() || enforcing;
+  std::optional<ReactionPolicy> police;
+  if (enforcing) police.emplace(game_, *enforcement_, n);
 
   RepeatedGameResult result;
   result.history.reserve(static_cast<std::size_t>(stages));
@@ -52,6 +65,8 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
   // would remember raw readings and re-filter).
   std::vector<History> observed(per_view ? n : 0);
   std::vector<History> smoothed(per_view && filter_.enabled() ? n : 0);
+  History monitor;  ///< enforcement monitor's (possibly faulted) view
+  if (enforcing) monitor.reserve(static_cast<std::size_t>(stages));
   std::vector<int> current_cw(n, 1);
   std::vector<double> last_good;  // per-player payoffs of last usable solve
 
@@ -74,8 +89,15 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
       if (current_cw[i] < 1) {
         throw std::runtime_error("RepeatedGameEngine: strategy returned w < 1");
       }
+      if (enforcing && police->punishing() && player_online(record, i) &&
+          strategies_[i]->follows_enforcement()) {
+        current_cw[i] = police->command(i, current_cw[i]);
+      }
       record.cw[i] = current_cw[i];
     }
+    // Whether stage k's decisions were overridden by an episode — fixed
+    // before end_stage below can open or close one.
+    const bool punished_stage = enforcing && police->punishing();
 
     if (!injector) {
       record.utility = game_.stage_utilities(record.cw);
@@ -134,7 +156,10 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
       // Each player's view of this stage: own window exact, opponents'
       // through the observation fault model (fixed i-then-j draw order),
       // then — when a filter is installed — smoothed over the trailing
-      // raw observations.
+      // raw observations. Punished stages are sanitized to the agreement
+      // window for every online player (the sanction owns the response;
+      // without this, TFT-style rules would ratchet on the punishment
+      // profile itself and never return to cooperation).
       const StageRecord& truth = result.history.back();
       for (std::size_t i = 0; i < n; ++i) {
         StageRecord view = truth;
@@ -147,13 +172,38 @@ RepeatedGameResult RepeatedGameEngine::play(int stages,
             view.cw[j] = injector->observe_cw(truth.cw[j], fallback).cw;
           }
         }
+        if (punished_stage) {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (player_online(truth, j)) view.cw[j] = enforcement_->w_agreed;
+          }
+        }
         observed[i].push_back(std::move(view));
         if (filter_.enabled()) {
           smoothed[i].push_back(filter_.filter_latest(observed[i], i));
         }
       }
     }
+
+    if (enforcing) {
+      // The monitor's own reading of this stage: true windows through the
+      // observation fault model, drawn after every player view in a fixed
+      // player order so the draw sequence stays deterministic.
+      const StageRecord& truth = result.history.back();
+      StageRecord mon = truth;
+      if (faulted_obs) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!player_online(truth, j)) continue;
+          const int fallback =
+              monitor.empty() ? truth.cw[j] : monitor.back().cw[j];
+          mon.cw[j] = injector->observe_cw(truth.cw[j], fallback).cw;
+        }
+      }
+      monitor.push_back(std::move(mon));
+      police->end_stage(monitor.back(), k);
+    }
   }
+
+  if (enforcing) result.enforcement = police->report();
 
   if (injector) {
     result.degradation.stages = stages;

@@ -13,6 +13,7 @@
 #include "fault/degradation.hpp"
 #include "fault/fault_injector.hpp"
 #include "game/observation_filter.hpp"
+#include "game/reaction.hpp"
 #include "game/stage_game.hpp"
 #include "game/strategies.hpp"
 
@@ -30,6 +31,8 @@ struct RepeatedGameResult {
   int stable_from = 0;
   /// What did not go cleanly (empty/clean for fault-free runs).
   fault::DegradationReport degradation;
+  /// What enforcement did (clean/default when no enforcement installed).
+  EnforcementReport enforcement;
 };
 
 /// Plays n strategies for a fixed number of stages.
@@ -76,10 +79,32 @@ class RepeatedGameEngine {
     return filter_;
   }
 
+  /// Installs the enforcement closed loop (game/reaction.hpp): a monitor
+  /// observes every stage (through the injector's observation faults when
+  /// one is active, drawn after the player views in a fixed order), feeds
+  /// a sequential detector, and on a flag opens a calibrated punishment
+  /// episode. During an episode:
+  ///  - every online player whose strategy follows_enforcement() plays
+  ///    the policy's commanded window instead of its own decision;
+  ///  - player views of punished stages are sanitized to the agreement
+  ///    window (the sanction owns the response — strategies must not
+  ///    TFT-ratchet on the punishment itself); utilities and the online
+  ///    mask stay real;
+  ///  - detection is suspended, and the episode's end rehabilitates the
+  ///    offender (evidence cleared).
+  /// Enforcement forces per-player views (like a filter). Pass nullopt to
+  /// remove. Throws std::invalid_argument on an invalid config.
+  void set_enforcement(std::optional<ReactionConfig> config);
+
+  const std::optional<ReactionConfig>& enforcement() const noexcept {
+    return enforcement_;
+  }
+
  private:
   const StageGame& game_;
   std::vector<std::unique_ptr<Strategy>> strategies_;
   ObservationFilter filter_;  ///< disabled by default
+  std::optional<ReactionConfig> enforcement_;
 };
 
 /// Convenience: n TFT players all starting from `initial_w`.

@@ -48,6 +48,13 @@ class Strategy {
 
   /// Short display name ("tft", "gtft(0.9,3)", …).
   virtual std::string name() const = 0;
+
+  /// Whether this player's node runs the enforcement protocol (see
+  /// game/reaction.hpp): compliant firmware obeys punishment commands and
+  /// has its in-episode observations sanitized. The deviants (§V.D/§V.E)
+  /// and fixed-window baselines return false — enforcement is exactly the
+  /// thing they ignore.
+  virtual bool follows_enforcement() const { return true; }
 };
 
 /// Plays a fixed window forever. Baseline, and the §V.E malicious player
@@ -58,6 +65,7 @@ class ConstantStrategy final : public Strategy {
   int initial_cw() const override { return w_; }
   int decide(const History&, std::size_t) override { return w_; }
   std::string name() const override;
+  bool follows_enforcement() const override { return false; }
 
  private:
   int w_;
@@ -105,6 +113,7 @@ class ShortSightedStrategy final : public Strategy {
   int initial_cw() const override { return w_s_; }
   int decide(const History&, std::size_t) override { return w_s_; }
   std::string name() const override;
+  bool follows_enforcement() const override { return false; }
 
  private:
   int w_s_;
@@ -118,6 +127,7 @@ class MaliciousStrategy final : public Strategy {
   int initial_cw() const override;
   int decide(const History& history, std::size_t self) override;
   std::string name() const override;
+  bool follows_enforcement() const override { return false; }
 
  private:
   int w_coop_;
@@ -205,6 +215,7 @@ class MyopicBestResponse final : public Strategy {
   int initial_cw() const override { return initial_w_; }
   int decide(const History& history, std::size_t self) override;
   std::string name() const override { return "myopic-br"; }
+  bool follows_enforcement() const override { return false; }
 
  private:
   int initial_w_;

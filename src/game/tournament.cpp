@@ -59,6 +59,11 @@ void Tournament::set_fault_plan(fault::FaultPlan plan, std::uint64_t seed) {
   fault_seed_ = seed;
 }
 
+void Tournament::set_enforcement(std::optional<ReactionConfig> config) {
+  if (config) config->validate();
+  enforcement_ = std::move(config);
+}
+
 MixOutcome Tournament::play_mix(const Contender& a, const Contender& b,
                                 int count_a) const {
   // One injector per mix, seeded off the mix size: every play_mix call
@@ -84,6 +89,7 @@ MixOutcome Tournament::play_mix_impl(const Contender& a, const Contender& b,
     players.push_back(i < count_a ? a.make() : b.make());
   }
   RepeatedGameEngine engine(game_, std::move(players));
+  if (enforcement_) engine.set_enforcement(enforcement_);
   RepeatedGameResult result;
   if (fault_plan_.empty()) {
     result = engine.play(stages_);
@@ -96,6 +102,7 @@ MixOutcome Tournament::play_mix_impl(const Contender& a, const Contender& b,
   MixOutcome outcome;
   outcome.count_a = count_a;
   outcome.degradation = result.degradation;
+  outcome.enforcement = result.enforcement;
   outcome.count_b = n_ - count_a;
   for (int i = 0; i < n_; ++i) {
     const double u = result.discounted_utility[static_cast<std::size_t>(i)];
@@ -267,6 +274,35 @@ std::vector<Contender> standard_roster(const StageGame& game, int n,
       [w_coop] { return std::make_unique<ContriteTitForTat>(w_coop, 3); }));
   roster.push_back(make_contender([w_coop] {
     return std::make_unique<ForgivingGtft>(w_coop, 0.9, 3, 2, 2);
+  }));
+  return roster;
+}
+
+std::vector<Contender> enforcement_roster(const StageGame& game, int n,
+                                          int w_coop) {
+  (void)game;
+  (void)n;
+  std::vector<Contender> roster;
+  roster.push_back(make_contender(
+      [w_coop] { return std::make_unique<TitForTat>(w_coop); }));
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<GenerousTitForTat>(w_coop, 0.9, 3);
+  }));
+  roster.push_back(make_contender(
+      [w_coop] { return std::make_unique<ContriteTitForTat>(w_coop, 3); }));
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<ForgivingGtft>(w_coop, 0.9, 3, 2, 2);
+  }));
+  return roster;
+}
+
+std::vector<Contender> deviant_roster(int w_coop, int attack_stage) {
+  std::vector<Contender> roster;
+  roster.push_back(make_contender([w_coop] {
+    return std::make_unique<ShortSightedStrategy>(std::max(1, w_coop / 4));
+  }));
+  roster.push_back(make_contender([w_coop, attack_stage] {
+    return std::make_unique<MaliciousStrategy>(w_coop, 2, attack_stage);
   }));
   return roster;
 }

@@ -55,6 +55,8 @@ struct MixOutcome {
   /// Faults and solver trouble of this mix's repeated game (clean when no
   /// fault plan is set).
   fault::DegradationReport degradation;
+  /// What enforcement did in this mix (default when none installed).
+  EnforcementReport enforcement;
 };
 
 class Tournament {
@@ -74,6 +76,18 @@ class Tournament {
   /// mixes of the same size face the same fault trajectory. Pass an empty
   /// plan to go back to fault-free play.
   void set_fault_plan(fault::FaultPlan plan, std::uint64_t seed);
+
+  /// Runs every subsequent mix with the enforcement closed loop installed
+  /// (RepeatedGameEngine::set_enforcement): the monitor flags deviants,
+  /// compliant players serve calibrated punishment episodes, offenders
+  /// are rehabilitated. Invasion and round-robin analyses then measure
+  /// deviant payoffs *under enforcement*. Pass nullopt to go back to
+  /// unenforced play. Throws std::invalid_argument on a bad config.
+  void set_enforcement(std::optional<ReactionConfig> config);
+
+  const std::optional<ReactionConfig>& enforcement() const noexcept {
+    return enforcement_;
+  }
 
   /// Plays one mix: the first `count_a` players use A, the rest B.
   MixOutcome play_mix(const Contender& a, const Contender& b,
@@ -121,11 +135,24 @@ class Tournament {
   std::size_t jobs_;
   fault::FaultPlan fault_plan_;  ///< empty() = fault-free play
   std::uint64_t fault_seed_ = 0;
+  std::optional<ReactionConfig> enforcement_;  ///< nullopt = unenforced
 };
 
 /// The paper's cast, ready to use: TFT, GTFT(β, r0), Constant(w),
 /// ShortSighted(w_s) — all starting from / anchored at `w_coop`.
 std::vector<Contender> standard_roster(const StageGame& game, int n,
                                        int w_coop);
+
+/// The enforcement-aware cast: the compliant reactive strategies only
+/// (tft, gtft, contrite-tft, forgiving-gtft) — the populations whose
+/// members actually execute punishment commands, used as residents in
+/// enforcement invasion studies. Deviants come from standard_roster (or
+/// deviant_roster below).
+std::vector<Contender> enforcement_roster(const StageGame& game, int n,
+                                          int w_coop);
+
+/// The §V.D/§V.E deviant cast: relentless short-sighted (W_coop/4) and
+/// malicious (cooperate, then attack at w=2 from `attack_stage`).
+std::vector<Contender> deviant_roster(int w_coop, int attack_stage = 3);
 
 }  // namespace smac::game

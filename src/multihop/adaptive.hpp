@@ -19,6 +19,7 @@
 #include "fault/fault_injector.hpp"
 #include "multihop/mobility.hpp"
 #include "multihop/multihop_simulator.hpp"
+#include "sim/online_detector.hpp"
 
 namespace smac::multihop {
 
@@ -39,6 +40,11 @@ struct MultihopTftResult {
   int stable_from = 0;
   /// Fault accounting (clean for fault-free runs).
   fault::DegradationReport degradation;
+  /// Enforcement accounting (play_multihop_enforced only; 0 otherwise).
+  int flags_raised = 0;
+  int punishment_episodes = 0;
+  int punished_stages = 0;
+  int rehabilitations = 0;
 };
 
 struct MultihopTftConfig {
@@ -65,5 +71,51 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
                                     RandomWaypointModel* mobility,
                                     const MultihopTftConfig& config,
                                     fault::FaultInjector* injector);
+
+/// The distributed enforcement protocol for local games (the flooding
+/// counterpart of game::ReactionPolicy's coordinator model).
+struct MultihopEnforcementConfig {
+  /// Per-node sequential detector geometry. Each compliant node monitors
+  /// its neighbors against its own entry window (the local agreement from
+  /// e.g. local_efficient_cw), with the closed-neighborhood size as n.
+  sim::OnlineDetectorConfig detector;
+  /// Backoff-stage bound of the detector's model.
+  int max_stage = 6;
+  /// Fixed episode length. Multihop punishment is not gain-calibrated —
+  /// there is no shared stage game to price the what-if profiles; the
+  /// single-hop ReactionPolicy implements the calibrated version.
+  int punishment_stages = 4;
+  /// Jamming window the offender's compliant neighbors drop to during an
+  /// episode (punishers play min(own entry window, punishment_w)).
+  /// Matching the offender's window would not starve it — deviation
+  /// profits come from asymmetry — so punishers undercut it instead.
+  int punishment_w = 1;
+  /// compliant[i] == 0 marks a node outside the protocol: it never
+  /// detects or punishes and keeps playing its entry window forever (the
+  /// constant-deviant model). Empty = every node is compliant.
+  std::vector<std::uint8_t> compliant;
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+/// Plays the enforcement protocol instead of TFT matching: compliant
+/// nodes *hold* their entry windows (deviations are the protocol's job,
+/// not min-matching's — so no TFT contagion), each runs an OnlineDetector
+/// over its neighbors' observed windows, and a flag is flooded: one
+/// episode at a time network-wide, during which the offender's compliant
+/// neighbors drop to min(own window, punishment_w) — undercutting it — for
+/// `punishment_stages` stages while every detector suspends (punishers
+/// must not read each other's punishment as deviation). The episode ends
+/// with rehabilitation — the offender's evidence is cleared everywhere —
+/// and, for a relentless deviant, fresh evidence re-flags it within a few
+/// stages: its neighborhood spends most stages denying it the gain while
+/// distant regions never leave their agreement. Observation faults apply
+/// per (observer, neighbor) exactly as in play_multihop_tft.
+MultihopTftResult play_multihop_enforced(
+    MultihopSimulator& sim, RandomWaypointModel* mobility,
+    const MultihopTftConfig& config,
+    const MultihopEnforcementConfig& enforcement,
+    fault::FaultInjector* injector = nullptr);
 
 }  // namespace smac::multihop

@@ -1,0 +1,131 @@
+// False-flag calibration property of the enforcement loop (ctest -L
+// detect): across seeded replications, compliant play accumulates flag
+// episodes at no more than 1.5× the detector's design significance — at
+// observation noise 0%, 5%, and 15% — and the deviant flag latency stays
+// a few stages. The margin is structural (noisy reads of magnitude ±4
+// around the agreement imply τ below the detector's break-even rate), so
+// the measured count is in fact zero; the 1.5α bound is what the property
+// promises, not what it measures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "game/equilibrium.hpp"
+#include "game/reaction.hpp"
+#include "game/repeated_game.hpp"
+#include "parallel/replication.hpp"
+#include "phy/parameters.hpp"
+
+namespace {
+
+using namespace smac;
+
+constexpr int kPlayers = 6;
+constexpr int kStages = 120;
+constexpr int kReps = 20;
+constexpr std::uint64_t kSeed = 0xca1b;
+
+const game::StageGame& shared_game() {
+  static const game::StageGame game(phy::Parameters::paper(),
+                                    phy::AccessMode::kRtsCts);
+  return game;
+}
+
+int agreed_window() {
+  static const int w =
+      game::EquilibriumFinder(shared_game(), kPlayers).efficient_cw();
+  return w;
+}
+
+game::RepeatedGameResult play_enforced(
+    std::vector<std::unique_ptr<game::Strategy>> pop, double noise,
+    std::uint64_t seed, bool player_filter) {
+  game::ReactionConfig rc;
+  rc.w_agreed = agreed_window();
+  game::RepeatedGameEngine engine(shared_game(), std::move(pop));
+  engine.set_enforcement(rc);
+  if (player_filter) {
+    game::ObservationFilterConfig fc;
+    fc.kind = game::FilterKind::kMedian;
+    fc.window = 3;
+    engine.set_observation_filter(fc);
+  }
+  if (noise <= 0.0) return engine.play(kStages);
+  fault::FaultPlan plan;
+  plan.observation.noise_probability = noise;
+  plan.observation.noise_magnitude = 4;
+  fault::FaultInjector injector(plan, kPlayers, seed);
+  return engine.play(kStages, &injector);
+}
+
+TEST(FpCalibrationTest, CompliantFlagRateStaysUnderTheDesignBound) {
+  // A population that actually holds the agreement (the SPRT's H0): the
+  // per-(opponent, run) false-flag probability is designed ≤ α = 0.01, so
+  // total flag episodes across reps × players must stay ≤ 1.5 × α ×
+  // (reps × players) — at every noise level.
+  const double alpha = game::ReactionConfig{}.detector.significance;
+  const double bound = 1.5 * alpha * kReps * kPlayers;
+  for (const double noise : {0.0, 0.05, 0.15}) {
+    int episodes = 0;
+    for (int r = 0; r < kReps; ++r) {
+      auto pop = std::vector<std::unique_ptr<game::Strategy>>();
+      for (int i = 0; i < kPlayers; ++i) {
+        pop.push_back(
+            std::make_unique<game::ConstantStrategy>(agreed_window()));
+      }
+      const auto result = play_enforced(
+          std::move(pop), noise,
+          parallel::stream_seed(kSeed, static_cast<std::uint64_t>(r)),
+          /*player_filter=*/false);
+      episodes += result.enforcement.episodes;
+    }
+    EXPECT_LE(static_cast<double>(episodes), bound)
+        << "noise " << noise << ": " << episodes << " false-flag episodes";
+  }
+}
+
+TEST(FpCalibrationTest, ReactiveStackStaysCleanAtModerateNoise) {
+  // The recommended enforcement stack — contrite residents behind a
+  // median(3) observation filter — must not trip the monitor at ≤ 5%
+  // noise either: the filter absorbs isolated false-low reads before the
+  // reaction rule can turn them into genuine (flaggable) window drops.
+  for (const double noise : {0.0, 0.05}) {
+    for (int r = 0; r < kReps; ++r) {
+      const auto result = play_enforced(
+          game::make_contrite_population(kPlayers, agreed_window(), 3),
+          noise, parallel::stream_seed(kSeed ^ 0xf1, (std::uint64_t)r),
+          /*player_filter=*/true);
+      EXPECT_EQ(result.enforcement.episodes, 0)
+          << "noise " << noise << " rep " << r << ": "
+          << result.enforcement.summary();
+    }
+  }
+}
+
+TEST(FpCalibrationTest, DeviantFlagLatencyIsAFewStages) {
+  // A short-sighted deviant at W*/4 among contrite residents is flagged
+  // within a handful of stages in every replication, clean or noisy.
+  for (const double noise : {0.0, 0.05}) {
+    for (int r = 0; r < 8; ++r) {
+      auto pop = game::make_contrite_population(kPlayers - 1,
+                                                agreed_window(), 3);
+      pop.push_back(std::make_unique<game::ShortSightedStrategy>(
+          std::max(1, agreed_window() / 4)));
+      const auto result = play_enforced(
+          std::move(pop), noise,
+          parallel::stream_seed(kSeed ^ 0xde, (std::uint64_t)r),
+          /*player_filter=*/true);
+      ASSERT_GT(result.enforcement.flags_raised, 0)
+          << "noise " << noise << " rep " << r;
+      EXPECT_GE(result.enforcement.first_flag_stage, 0);
+      EXPECT_LE(result.enforcement.first_flag_stage, 5)
+          << "noise " << noise << " rep " << r << ": "
+          << result.enforcement.summary();
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Jobs-invariance of enforcement runs: a Tournament with the enforcement
+// closed loop installed (detector → calibrated punishment →
+// rehabilitation) must produce bit-identical payoffs and enforcement
+// accounting whether its mixes run serially or fanned across a thread
+// pool — the policy is a pure function of the observation sequence, and
+// every mix seeds its own injector stream.
+#include <cstdint>
+#include <vector>
+
+#include "game/equilibrium.hpp"
+#include "game/reaction.hpp"
+#include "game/tournament.hpp"
+#include "gtest/gtest.h"
+#include "phy/parameters.hpp"
+
+namespace {
+
+using namespace smac;
+
+TEST(EnforcementInvariance, InvasionMatrixIsIdenticalAcrossJobs) {
+  const game::StageGame game(phy::Parameters::paper(),
+                             phy::AccessMode::kRtsCts);
+  const int n = 6;
+  const int w_star = game::EquilibriumFinder(game, n).efficient_cw();
+  game::ReactionConfig rc;
+  rc.w_agreed = w_star;
+  fault::FaultPlan plan;
+  plan.observation.noise_probability = 0.05;
+  plan.observation.noise_magnitude = 4;
+
+  // Contrite residents vs the two §V.D deviants: 3 × 3 enforced invasion
+  // matrix under observation noise, the bench_enforcement setting in
+  // miniature.
+  std::vector<game::Contender> roster{
+      game::enforcement_roster(game, n, w_star).at(2),
+      game::deviant_roster(w_star).at(0),
+      game::deviant_roster(w_star).at(1),
+  };
+
+  auto run_at = [&](std::size_t jobs) {
+    game::Tournament t(game, n, 40, jobs);
+    t.set_fault_plan(plan, 0xfa57);
+    t.set_enforcement(rc);
+    struct Cell {
+      double a = 0.0, b = 0.0;
+      int episodes = 0, punished = 0;
+    };
+    std::vector<Cell> cells;
+    const auto matrix = t.invasion_matrix(roster);
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      for (std::size_t j = 0; j < roster.size(); ++j) {
+        const auto mix = t.play_mix(roster[i], roster[j], n - 1);
+        cells.push_back({mix.payoff_a, mix.payoff_b,
+                         mix.enforcement.episodes,
+                         mix.enforcement.punished_stages});
+      }
+    }
+    return std::make_pair(matrix, cells);
+  };
+
+  const auto serial = run_at(1);
+  const auto fanned = run_at(4);
+  EXPECT_EQ(serial.first, fanned.first);
+  ASSERT_EQ(serial.second.size(), fanned.second.size());
+  for (std::size_t k = 0; k < serial.second.size(); ++k) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(serial.second[k].a, fanned.second[k].a) << "cell " << k;
+    EXPECT_EQ(serial.second[k].b, fanned.second[k].b) << "cell " << k;
+    EXPECT_EQ(serial.second[k].episodes, fanned.second[k].episodes);
+    EXPECT_EQ(serial.second[k].punished, fanned.second[k].punished);
+  }
+}
+
+}  // namespace

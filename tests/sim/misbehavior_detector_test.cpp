@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "analytical/fixed_point_solver.hpp"
 #include "util/stats.hpp"
 
 namespace smac::sim {
@@ -93,6 +96,70 @@ TEST(DetectorTest, VerdictFieldsAreCoherent) {
   }
 }
 
+TEST(TryDetectTest, MatchesThrowingPathOnValidInput) {
+  std::vector<int> profile(5, 64);
+  profile[2] = 16;
+  Simulator sim(make_config(7), profile);
+  const auto observed = sim.run_slots(100000);
+  const auto thrown = detect_misbehavior(observed, 64, 6);
+  const auto tried = try_detect_misbehavior(observed, 64, 6);
+  ASSERT_TRUE(tried.ok());
+  ASSERT_EQ(tried.verdicts.size(), thrown.size());
+  for (std::size_t i = 0; i < thrown.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tried.verdicts[i].z_score, thrown[i].z_score);
+    EXPECT_EQ(tried.verdicts[i].flagged, thrown[i].flagged);
+  }
+}
+
+TEST(TryDetectTest, ReportsInvalidInputInsteadOfThrowing) {
+  SimResult empty;
+  EXPECT_EQ(try_detect_misbehavior(empty, 64, 6).status,
+            DetectStatus::kInvalidInput);
+  Simulator sim(make_config(11), {64, 64});
+  const auto observed = sim.run_slots(1000);
+  EXPECT_EQ(try_detect_misbehavior(observed, 0, 6).status,
+            DetectStatus::kInvalidInput);
+  EXPECT_EQ(try_detect_misbehavior(observed, 64, -1).status,
+            DetectStatus::kInvalidInput);
+  DetectorConfig bad;
+  bad.significance = 0.0;
+  EXPECT_EQ(try_detect_misbehavior(observed, 64, 6, bad).status,
+            DetectStatus::kInvalidInput);
+  bad = DetectorConfig{};
+  bad.tolerance = -0.1;
+  EXPECT_EQ(try_detect_misbehavior(observed, 64, 6, bad).status,
+            DetectStatus::kInvalidInput);
+  // A significance too small to represent 1 − α in double would make the
+  // quantile (and every downstream threshold) meaningless — invalid, and
+  // the throwing path agrees.
+  bad = DetectorConfig{};
+  bad.significance = 1e-300;
+  EXPECT_EQ(try_detect_misbehavior(observed, 64, 6, bad).status,
+            DetectStatus::kInvalidInput);
+  EXPECT_THROW(detect_misbehavior(observed, 64, 6, bad),
+               std::invalid_argument);
+  EXPECT_STREQ(to_string(DetectStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(DetectStatus::kInvalidInput), "invalid-input");
+}
+
+TEST(TryDetectTest, HugeToleranceIsValidAndFlagsNobody) {
+  // tolerance pushing the tolerated τ past 1 used to send the variance
+  // through sqrt(negative) → NaN z-scores. It must clamp instead: valid
+  // input, finite z, nobody flagged (no observable rate beats certainty).
+  std::vector<int> profile(4, 64);
+  profile[0] = 8;  // even a blatant cheater stays under a tolerated τ of 1
+  Simulator sim(make_config(12), profile);
+  DetectorConfig config;
+  config.tolerance = 1e3;
+  const auto result = try_detect_misbehavior(sim.run_slots(50000), 64, 6,
+                                             config);
+  ASSERT_TRUE(result.ok());
+  for (const auto& v : result.verdicts) {
+    EXPECT_TRUE(std::isfinite(v.z_score));
+    EXPECT_FALSE(v.flagged);
+  }
+}
+
 TEST(DetectionSlotsTest, SeverityShortensDetection) {
   const auto s_severe = expected_detection_slots(64, 8, 5, 6);
   const auto s_mild = expected_detection_slots(64, 48, 5, 6);
@@ -102,10 +169,39 @@ TEST(DetectionSlotsTest, SeverityShortensDetection) {
 }
 
 TEST(DetectionSlotsTest, WithinToleranceIsUndetectable) {
+  // Every w_cheat >= w_agreed is a zero-signal case, as is a cheat whose
+  // τ excess stays inside the tolerance band.
   EXPECT_EQ(expected_detection_slots(64, 64, 5, 6), 0u);
+  EXPECT_EQ(expected_detection_slots(64, 65, 5, 6), 0u);
   EXPECT_EQ(expected_detection_slots(64, 63, 5, 6), 0u);  // ~1.5% excess
   // Cheating *upward* is never flagged either (one-sided test).
   EXPECT_EQ(expected_detection_slots(64, 256, 5, 6), 0u);
+}
+
+TEST(DetectionSlotsTest, VanishingExcessHitsTheCapNotUndefinedBehavior) {
+  // Tune the tolerance so the cheat's τ exceeds the tolerated rate by a
+  // sliver (~1e-10 relative): the sample-size formula blows past uint64
+  // and must return the sentinel instead of casting a non-representable
+  // double (undefined behavior).
+  const double tau_compliant = analytical::homogeneous_tau(64, 5, 6);
+  std::vector<int> profile(5, 64);
+  profile[0] = 16;
+  const double tau_cheat = analytical::solve_network(profile, 6).tau[0];
+  ASSERT_GT(tau_cheat, tau_compliant);
+  DetectorConfig config;
+  config.tolerance = tau_cheat * (1.0 - 1e-10) / tau_compliant - 1.0;
+  EXPECT_EQ(expected_detection_slots(64, 16, 5, 6, config),
+            kDetectionSlotsCap);
+}
+
+TEST(DetectionSlotsTest, BoundaryPowerStaysFiniteAndOrdered) {
+  // One ulp from certainty is still a valid power: the quantile is large
+  // but finite, and the budget only grows with the demanded power.
+  const auto p90 = expected_detection_slots(64, 16, 5, 6, {}, 0.9);
+  const auto extreme = expected_detection_slots(
+      64, 16, 5, 6, {}, std::nextafter(1.0, 0.0));
+  EXPECT_GT(extreme, p90);
+  EXPECT_LT(extreme, kDetectionSlotsCap);
 }
 
 TEST(DetectionSlotsTest, PowerRaisesTheBudget) {
