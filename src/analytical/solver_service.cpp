@@ -22,6 +22,19 @@ bool valid_solve_inputs(const std::vector<int>& w, int max_stage,
          per < 1.0;
 }
 
+bool valid_class_inputs(const ClassProfile& classes, int max_stage,
+                        double per) {
+  if (classes.window.empty() ||
+      classes.window.size() != classes.multiplicity.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < classes.window.size(); ++c) {
+    if (classes.window[c] < 1 || classes.multiplicity[c] < 1) return false;
+    if (c > 0 && classes.window[c] <= classes.window[c - 1]) return false;
+  }
+  return max_stage >= 0 && per >= 0.0 && per < 1.0;
+}
+
 TrySolveResult expand_result(const TrySolveResult& collapsed,
                              const ClassProfile& classes) {
   TrySolveResult out;
@@ -64,6 +77,20 @@ SolverService::Ticket SolverService::submit(std::vector<int> w, int max_stage,
   return Ticket(this, std::move(request));
 }
 
+SolverService::Ticket SolverService::submit_classes(
+    ClassProfile classes, int max_stage, double packet_error_rate) const {
+  auto request = std::make_shared<Ticket::Request>();
+  request->classes = std::move(classes);
+  request->class_level = true;
+  request->max_stage = max_stage;
+  request->packet_error_rate = packet_error_rate;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    pending_.push_back(request);
+  }
+  return Ticket(this, std::move(request));
+}
+
 void SolverService::drain() const {
   std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   std::vector<std::shared_ptr<Ticket::Request>> batch;
@@ -83,8 +110,13 @@ void SolverService::drain() const {
   using GroupKey = std::tuple<std::vector<int>, std::vector<int>, int, double>;
   std::map<GroupKey, std::vector<Pending>> groups;
   for (const auto& request : batch) {
-    if (!valid_solve_inputs(request->w, request->max_stage,
-                            request->packet_error_rate)) {
+    const bool valid =
+        request->class_level
+            ? valid_class_inputs(request->classes, request->max_stage,
+                                 request->packet_error_rate)
+            : valid_solve_inputs(request->w, request->max_stage,
+                                 request->packet_error_rate);
+    if (!valid) {
       // Same path as NetworkSolveCache::solve on invalid inputs: one
       // miss, no entry, the solver's own kFailed/"invalid" result.
       cache_.tally(0, 1);
@@ -94,7 +126,9 @@ void SolverService::drain() const {
       request->done.store(true, std::memory_order_release);
       continue;
     }
-    ClassProfile classes = classify_profile(request->w);
+    ClassProfile classes = request->class_level
+                               ? request->classes
+                               : classify_profile(request->w);
     GroupKey key{classes.window, classes.multiplicity, request->max_stage,
                  request->packet_error_rate};
     groups[std::move(key)].push_back({request.get(), std::move(classes)});
@@ -113,7 +147,9 @@ void SolverService::drain() const {
             head.classes, head.request->max_stage,
             head.request->packet_error_rate, requests.size())) {
       for (Pending& pending : requests) {
-        pending.request->result = expand_result(*cached, pending.classes);
+        pending.request->result = pending.request->class_level
+                                      ? *cached
+                                      : expand_result(*cached, pending.classes);
         pending.request->done.store(true, std::memory_order_release);
       }
       continue;
@@ -171,7 +207,10 @@ void SolverService::drain() const {
                            requests.size());
     }
     for (Pending& pending : requests) {
-      pending.request->result = expand_result(solved[m], pending.classes);
+      pending.request->result =
+          pending.request->class_level
+              ? solved[m]
+              : expand_result(solved[m], pending.classes);
       pending.request->done.store(true, std::memory_order_release);
     }
   }

@@ -82,6 +82,10 @@ class SolverService {
     friend class SolverService;
     struct Request {
       std::vector<int> w;
+      /// Set (with class_level) by submit_classes: the request is already
+      /// in canonical class space and its result stays collapsed.
+      ClassProfile classes;
+      bool class_level = false;
       int max_stage = 0;
       double packet_error_rate = 0.0;
       TrySolveResult result;
@@ -101,6 +105,19 @@ class SolverService {
   /// until drain() — submit everything a phase needs first.
   Ticket submit(std::vector<int> w, int max_stage,
                 double packet_error_rate) const;
+
+  /// Enqueues one *pre-classified* request. `classes` must be canonical —
+  /// windows strictly ascending, multiplicities >= 1, exactly what
+  /// classify_profile produces (class_of may be empty; only the
+  /// window/multiplicity multiset is used here). The ticket's result
+  /// stays in class space (state size == class_count); callers expand
+  /// with their own class_of maps via expand_classes. Shares cache keys,
+  /// dedup groups, and traffic accounting with submit(), so a class-level
+  /// and a per-node request for the same multiset cost one solve. The
+  /// city-scale path (multihop::price_neighborhoods) lives on this entry:
+  /// a 10^4-node stage submits only its distinct neighborhood classes.
+  Ticket submit_classes(ClassProfile classes, int max_stage,
+                        double packet_error_rate) const;
 
   /// Fulfills every pending request: answers duplicates and cached keys
   /// from the NetworkSolveCache, batch-solves the distinct misses, adopts

@@ -7,7 +7,13 @@
 namespace smac::game {
 
 StageGame::StageGame(phy::Parameters params, phy::AccessMode mode)
-    : params_(std::move(params)), mode_(mode) {
+    : StageGame(std::move(params), mode,
+                analytical::SolverService::Options{}) {}
+
+StageGame::StageGame(phy::Parameters params, phy::AccessMode mode,
+                     analytical::SolverService::Options solver_options)
+    : params_(std::move(params)), mode_(mode),
+      solver_(std::move(solver_options)) {
   params_.validate();
 }
 
@@ -80,6 +86,51 @@ std::vector<StageGame::StagePayoffs> StageGame::try_stage_utilities_batch(
       out[i].utilities =
           analytical::utility_rates(solved.state, params_, mode_);
       for (double& v : out[i].utilities) v *= t_us;
+    }
+  }
+  return out;
+}
+
+std::vector<StageGame::ClassPayoffs> StageGame::try_class_utilities_batch(
+    const std::vector<analytical::ClassProfile>& profiles,
+    std::optional<double> per_override) const {
+  const double per = per_override.value_or(params_.packet_error_rate);
+  std::vector<analytical::SolverService::Ticket> tickets(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (!profiles[i].window.empty()) {
+      tickets[i] = solver_.submit_classes(profiles[i],
+                                          params_.max_backoff_stage, per);
+    }
+  }
+  solver_.drain();
+  std::vector<ClassPayoffs> out(profiles.size());
+  const double t_us = stage_duration_us();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].window.empty()) {
+      out[i].diagnostics.status = analytical::SolveStatus::kFailed;
+      out[i].diagnostics.method = "invalid";
+      continue;
+    }
+    const analytical::TrySolveResult& solved = tickets[i].result();
+    out[i].diagnostics = solved.diagnostics;
+    if (!analytical::usable(solved.diagnostics.status)) continue;
+    // utility_rates needs the full per-node vectors (the slot time is a
+    // global quantity), so expand, price, and compress back to one entry
+    // per class — the representative's value IS the class value, since
+    // nodes of a class share tau/p bit-for-bit.
+    const analytical::NetworkState full =
+        analytical::expand_classes(solved.state, profiles[i]);
+    const std::vector<double> u =
+        analytical::utility_rates(full, params_, mode_);
+    const std::size_t k = profiles[i].class_count();
+    out[i].utilities.assign(k, 0.0);
+    std::vector<char> seen(k, 0);
+    for (std::size_t node = 0; node < profiles[i].node_count(); ++node) {
+      const auto c = static_cast<std::size_t>(profiles[i].class_of[node]);
+      if (!seen[c]) {
+        seen[c] = 1;
+        out[i].utilities[c] = u[node] * t_us;
+      }
     }
   }
   return out;

@@ -30,6 +30,13 @@ class StageGame {
  public:
   StageGame(phy::Parameters params, phy::AccessMode mode);
 
+  /// Same, with explicit SolverService options — the way to hand the
+  /// owned service a ThreadPool (city-scale pricing chunks its miss
+  /// batches across it; results stay bitwise jobs-invariant per the
+  /// service contract). The pool, if any, must outlive this game.
+  StageGame(phy::Parameters params, phy::AccessMode mode,
+            analytical::SolverService::Options solver_options);
+
   const phy::Parameters& params() const noexcept { return params_; }
   phy::AccessMode mode() const noexcept { return mode_; }
 
@@ -67,6 +74,22 @@ class StageGame {
   /// same kFailed/"invalid" payoffs as the sequential path.
   std::vector<StagePayoffs> try_stage_utilities_batch(
       const std::vector<std::vector<int>>& profiles,
+      std::optional<double> per_override = std::nullopt) const;
+
+  /// Class-space batch pricing: each entry is a canonical ClassProfile
+  /// (as produced by classify_profile, class_of populated) and the result
+  /// holds one stage payoff per *class* — the payoff every node of that
+  /// class would get from try_stage_utilities on any expansion of the
+  /// profile, bitwise (nodes of a class share tau/p exactly). This is the
+  /// city-scale entry point: a 10^4-node stage submits only its distinct
+  /// (neighborhood-size, window-mix, PER) classes and expands per node
+  /// afterwards. Profiles with no classes yield kFailed/"invalid".
+  struct ClassPayoffs {
+    std::vector<double> utilities;  ///< per class, stage payoff u·T
+    analytical::SolveDiagnostics diagnostics;
+  };
+  std::vector<ClassPayoffs> try_class_utilities_batch(
+      const std::vector<analytical::ClassProfile>& profiles,
       std::optional<double> per_override = std::nullopt) const;
 
   /// Warms the solve cache for a set of profiles in one batched drain.

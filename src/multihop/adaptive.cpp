@@ -5,9 +5,28 @@
 #include <stdexcept>
 #include <string>
 
+#include "multihop/spatial_index.hpp"
+
 namespace smac::multihop {
 
 namespace {
+
+// One mobility epoch: advance the waypoint model and refresh the
+// simulator's topology through a persistent SpatialIndex — full grid
+// build on the first epoch, incremental (re-bucket crossers, re-scan
+// movers) afterwards. Produces the same Topology as rebuilding from
+// scratch each stage; the `ctest -L topology` property tests pin that.
+void advance_and_refresh(MultihopSimulator& sim,
+                         RandomWaypointModel& mobility, double dt_s,
+                         std::optional<SpatialIndex>& index) {
+  mobility.advance(dt_s);
+  if (!index) {
+    index.emplace(mobility.positions(), sim.config().range_m);
+  } else {
+    index->update_positions(mobility.positions());
+  }
+  sim.update_topology(index->topology());
+}
 
 void validate_common(const MultihopSimulator& sim,
                      const RandomWaypointModel* mobility,
@@ -79,6 +98,7 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
   const std::size_t n = sim.node_count();
 
   MultihopTftResult result;
+  std::optional<SpatialIndex> topology_index;
   std::vector<int> profile(n);
   for (std::size_t i = 0; i < n; ++i) profile[i] = sim.cw(i);
   // observed[i][j]: node i's current belief of node j's window (loss
@@ -111,9 +131,8 @@ MultihopTftResult play_multihop_tft(MultihopSimulator& sim,
 
     // Mobility epoch: nodes move, the observation graph changes.
     if (mobility && config.mobility_dt_s > 0.0) {
-      mobility->advance(config.mobility_dt_s);
-      sim.update_topology(
-          Topology(mobility->positions(), sim.config().range_m));
+      advance_and_refresh(sim, *mobility, config.mobility_dt_s,
+                          topology_index);
     }
 
     // Graph-local TFT on the (possibly new) topology: match the smallest
@@ -188,6 +207,7 @@ MultihopTftResult play_multihop_enforced(
   };
 
   MultihopTftResult result;
+  std::optional<SpatialIndex> topology_index;
   std::vector<int> profile(n);
   std::vector<int> seed(n);  ///< entry windows — the local agreements
   for (std::size_t i = 0; i < n; ++i) profile[i] = seed[i] = sim.cw(i);
@@ -257,9 +277,8 @@ MultihopTftResult play_multihop_enforced(
     result.stages.push_back(std::move(stage));
 
     if (mobility && config.mobility_dt_s > 0.0) {
-      mobility->advance(config.mobility_dt_s);
-      sim.update_topology(
-          Topology(mobility->positions(), sim.config().range_m));
+      advance_and_refresh(sim, *mobility, config.mobility_dt_s,
+                          topology_index);
     }
 
     if (punished_stage) {

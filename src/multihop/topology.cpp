@@ -5,26 +5,47 @@
 #include <queue>
 #include <stdexcept>
 
+#include "multihop/spatial_index.hpp"
+
 namespace smac::multihop {
 
 Topology::Topology(const std::vector<Vec2>& positions, double range_m)
-    : range_m_(range_m), positions_(positions),
-      neighbors_(positions.size()) {
+    : range_m_(range_m), positions_(positions) {
   if (!(range_m > 0.0)) throw std::invalid_argument("Topology: range <= 0");
   if (positions.empty()) throw std::invalid_argument("Topology: no nodes");
+  neighbors_ = SpatialIndex(positions, range_m).take_neighbors();
+}
+
+Topology::Topology(std::vector<Vec2> positions, double range_m,
+                   std::vector<std::vector<std::size_t>> neighbors)
+    : range_m_(range_m), positions_(std::move(positions)),
+      neighbors_(std::move(neighbors)) {
+  if (!(range_m > 0.0)) throw std::invalid_argument("Topology: range <= 0");
+  if (positions_.empty()) throw std::invalid_argument("Topology: no nodes");
+  if (neighbors_.size() != positions_.size()) {
+    throw std::invalid_argument("Topology: adjacency size mismatch");
+  }
+}
+
+Topology build_topology_full(const std::vector<Vec2>& positions,
+                             double range_m) {
+  if (!(range_m > 0.0)) throw std::invalid_argument("Topology: range <= 0");
+  if (positions.empty()) throw std::invalid_argument("Topology: no nodes");
+  std::vector<std::vector<std::size_t>> neighbors(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i) {
     for (std::size_t j = i + 1; j < positions.size(); ++j) {
       if (in_range(positions[i], positions[j], range_m)) {
-        neighbors_[i].push_back(j);
-        neighbors_[j].push_back(i);
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
       }
     }
   }
+  return Topology(positions, range_m, std::move(neighbors));
 }
 
 bool Topology::are_neighbors(std::size_t a, std::size_t b) const {
   const auto& na = neighbors_.at(a);
-  return std::find(na.begin(), na.end(), b) != na.end();
+  return std::binary_search(na.begin(), na.end(), b);
 }
 
 bool Topology::connected() const {
@@ -74,7 +95,9 @@ std::size_t Topology::hop_distance(std::size_t a, std::size_t b) const {
 std::size_t Topology::diameter() const {
   constexpr auto kInf = std::numeric_limits<std::size_t>::max();
   std::size_t diameter = 0;
-  // BFS from every node; n is small (≈100) so O(n·(n+m)) is fine.
+  // BFS from every node — O(n·(n+m)). Fine for the paper-scale scenarios
+  // that ask for a diameter; city-scale runs (n ≥ 10^4, docs/CITY_SCALE.md)
+  // work off SpatialIndex neighbor sets and never call this.
   for (std::size_t s = 0; s < node_count(); ++s) {
     std::vector<std::size_t> dist(node_count(), kInf);
     std::queue<std::size_t> queue;

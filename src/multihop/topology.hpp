@@ -11,14 +11,26 @@ namespace smac::multihop {
 
 class Topology {
  public:
-  /// Builds the neighbor lists of the unit-disk graph. O(n²) pair scan —
-  /// ample for the paper's 100-node scenarios.
+  /// Builds the neighbor lists of the unit-disk graph through the
+  /// uniform-grid SpatialIndex — O(n + m) expected for bounded-density
+  /// layouts (m = edge count), against the old Θ(n²) pair scan, which
+  /// survives as build_topology_full (the test oracle). Requires finite
+  /// coordinates; throws std::invalid_argument otherwise. The complexity
+  /// contract lives in spatial_index.hpp and docs/CITY_SCALE.md.
   Topology(const std::vector<Vec2>& positions, double range_m);
+
+  /// Adopts a prebuilt adjacency (each list ascending-sorted, symmetric;
+  /// trusted, not re-verified). Used by SpatialIndex::topology() and
+  /// build_topology_full.
+  Topology(std::vector<Vec2> positions, double range_m,
+           std::vector<std::vector<std::size_t>> neighbors);
 
   std::size_t node_count() const noexcept { return neighbors_.size(); }
   double range_m() const noexcept { return range_m_; }
   const std::vector<Vec2>& positions() const noexcept { return positions_; }
 
+  /// Neighbor ids of i, ascending-sorted (a class invariant both build
+  /// paths uphold; are_neighbors binary-searches it).
   const std::vector<std::size_t>& neighbors(std::size_t i) const {
     return neighbors_.at(i);
   }
@@ -41,5 +53,10 @@ class Topology {
   std::vector<Vec2> positions_;
   std::vector<std::vector<std::size_t>> neighbors_;
 };
+
+/// The original Θ(n²) all-pairs scan, kept as the ground-truth oracle the
+/// `ctest -L topology` property tests compare the grid path against.
+Topology build_topology_full(const std::vector<Vec2>& positions,
+                             double range_m);
 
 }  // namespace smac::multihop
