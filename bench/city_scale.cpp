@@ -16,10 +16,24 @@
 //   BENCH_city_scale_timings.json  wall-clock build/update/solve-dedup
 //                                  timings; machine-dependent by nature.
 //
-// Usage: bench_city_scale [--jobs N] [--smoke] [output.json]
-//   --smoke   one 10^3-node, 2-stage run (the cheap CTest configuration);
-//             writes BENCH_city_scale_smoke.json unless a path is given.
+// Usage: bench_city_scale [--jobs N] [--smoke] [--kernel K]
+//                         [--sim-slots N] [output.json]
+//   --smoke        one 10^3-node, 2-stage run (the cheap CTest
+//                  configuration); writes BENCH_city_scale_smoke.json
+//                  unless a path is given.
+//   --kernel K     adds the per-stage slot-sim leg with kernel K ∈
+//                  {slot-loop, pdes}. `pdes` runs BOTH kernels per stage
+//                  (docs/PDES.md), asserts their results bitwise equal
+//                  (non-zero exit on divergence), and reports the
+//                  slot-loop/PDES speedup in the timings artifact; PDES
+//                  workers come from --jobs.
+//   --sim-slots N  slot count of the sim leg (default 2000 once --kernel
+//                  is given). sim_* results are kernel- and jobs-
+//                  invariant, so the deterministic artifact stays
+//                  byte-identical for any --jobs at a fixed --kernel
+//                  on/off state.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -32,11 +46,19 @@ namespace {
 using namespace smac;
 
 std::vector<multihop::CityScaleConfig> scenarios(bool smoke,
-                                                 std::size_t solver_jobs) {
+                                                 std::size_t solver_jobs,
+                                                 std::uint64_t sim_slots,
+                                                 multihop::MultihopKernel
+                                                     sim_kernel) {
   std::vector<multihop::CityScaleConfig> out;
   multihop::CityScaleConfig base;
   base.solver_jobs = solver_jobs;
   base.seed = 2026;
+  base.sim_slots = sim_slots;
+  base.sim_kernel = sim_kernel;
+  base.sim_jobs = solver_jobs;
+  base.sim_compare_kernels =
+      sim_slots > 0 && sim_kernel == multihop::MultihopKernel::kPdes;
   if (smoke) {
     base.nodes = 1000;
     base.stages = 2;
@@ -92,13 +114,25 @@ void write_results_json(const std::string& path,
           "\"seed_classes\": %zu, \"converged_classes\": %zu, "
           "\"quasi_optimal_fraction\": %.17g, "
           "\"mean_payoff_fraction\": %.17g, "
-          "\"min_payoff_fraction\": %.17g}%s\n",
+          "\"min_payoff_fraction\": %.17g",
           st.stage, st.online, st.edges, st.crashes, st.joins,
           st.update.moved, st.update.rebucketed, st.update.rescanned,
           st.converged_w, st.tft_stages, st.priced_nodes, st.seed_classes,
           st.converged_classes, st.quasi_optimal_fraction,
-          st.mean_payoff_fraction, st.min_payoff_fraction,
-          k + 1 < r.stage.size() ? "," : "");
+          st.mean_payoff_fraction, st.min_payoff_fraction);
+      if (configs[s].sim_slots > 0) {
+        // Emitted only when the sim leg ran, so default artifacts keep
+        // their historical shape byte-for-byte. sim results are kernel-
+        // and jobs-invariant (the PDES determinism contract).
+        std::fprintf(out,
+                     ",\n        \"sim\": {\"slots\": %llu, \"p_hn\": %.17g, "
+                     "\"payoff\": %.17g, \"regions\": %zu, "
+                     "\"kernels_match\": %s}",
+                     static_cast<unsigned long long>(configs[s].sim_slots),
+                     st.sim_p_hn, st.sim_payoff, st.sim_regions,
+                     st.sim_kernels_match ? "true" : "false");
+      }
+      std::fprintf(out, "}%s\n", k + 1 < r.stage.size() ? "," : "");
     }
     std::fprintf(out, "     ],\n");
     std::fprintf(out,
@@ -130,13 +164,25 @@ void write_timings_json(const std::string& path,
     std::fprintf(out,
                  "    {\"nodes\": %zu, \"grid_build_ms\": %.3f, "
                  "\"incremental_update_ms\": %.3f, \"solve_dedup_ms\": %.3f, "
-                 "\"oracle_build_ms\": %.3f, \"oracle_vs_grid\": %.2f}%s\n",
+                 "\"oracle_build_ms\": %.3f, \"oracle_vs_grid\": %.2f",
                  r.nodes, r.build_ms, r.update_ms, r.solve_ms,
                  r.oracle_build_ms,
                  r.oracle_build_ms >= 0.0 && r.build_ms > 0.0
                      ? r.oracle_build_ms / r.build_ms
-                     : -1.0,
-                 s + 1 < runs.size() ? "," : "");
+                     : -1.0);
+    if (r.sim_ms > 0.0) {
+      // pdes_speedup: serial slot loop over the configured kernel; > 1
+      // means the PDES kernel won wall clock (expect ~1.0 on a 1-core
+      // host — the regions serialize onto one worker).
+      std::fprintf(out,
+                   ", \"sim_ms\": %.3f, \"sim_oracle_ms\": %.3f, "
+                   "\"pdes_speedup\": %.2f",
+                   r.sim_ms, r.sim_oracle_ms,
+                   r.sim_oracle_ms >= 0.0 && r.sim_ms > 0.0
+                       ? r.sim_oracle_ms / r.sim_ms
+                       : -1.0);
+    }
+    std::fprintf(out, "}%s\n", s + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -146,6 +192,9 @@ void write_timings_json(const std::string& path,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool sim_leg = false;
+  std::uint64_t sim_slots = 0;
+  multihop::MultihopKernel sim_kernel = multihop::MultihopKernel::kSlotLoop;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,10 +202,24 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
       if (arg == "--jobs") ++i;  // value consumed by jobs_option
+    } else if (arg == "--kernel" && i + 1 < argc) {
+      const std::string kernel = argv[++i];
+      if (kernel == "pdes") {
+        sim_kernel = multihop::MultihopKernel::kPdes;
+      } else if (kernel != "slot-loop") {
+        std::fprintf(stderr, "unknown --kernel %s (slot-loop|pdes)\n",
+                     kernel.c_str());
+        return 2;
+      }
+      sim_leg = true;
+    } else if (arg == "--sim-slots" && i + 1 < argc) {
+      sim_slots = std::strtoull(argv[++i], nullptr, 10);
+      sim_leg = sim_slots > 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     }
   }
+  if (sim_leg && sim_slots == 0) sim_slots = 2000;
   if (path.empty()) {
     path = smoke ? "BENCH_city_scale_smoke.json" : "BENCH_city_scale.json";
   }
@@ -168,7 +231,7 @@ int main(int argc, char** argv) {
       "Constant-density arenas, random-waypoint mobility, Bernoulli churn.");
   bench::print_jobs(jobs);
 
-  const auto configs = scenarios(smoke, jobs);
+  const auto configs = scenarios(smoke, jobs, sim_slots, sim_kernel);
   std::vector<multihop::CityScaleResult> runs(configs.size());
   bench::sweep(configs.size(), /*jobs=*/1, [&](std::size_t s) {
     // Scenarios run sequentially (each already fans its solver misses
@@ -194,17 +257,48 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  bool kernels_diverged = false;
   for (std::size_t s = 0; s < runs.size(); ++s) {
     const multihop::CityScaleResult& r = runs[s];
     std::printf("n=%zu: arena %.0f m, grid build %.2f ms, incremental "
                 "updates %.2f ms, pricing %.2f ms, cache %zu/%zu hits",
-                r.nodes, r.arena_m, r.build_ms, r.update_ms, r.solve_ms,
-                r.cache.hits, r.cache.hits + r.cache.misses);
+                r.nodes, r.arena_m, r.build_ms, r.update_ms,
+                r.solve_ms, r.cache.hits, r.cache.hits + r.cache.misses);
     if (r.oracle_build_ms >= 0.0) {
       std::printf(", oracle build %.2f ms (%.1fx grid)", r.oracle_build_ms,
                   r.build_ms > 0.0 ? r.oracle_build_ms / r.build_ms : 0.0);
     }
+    if (r.sim_ms > 0.0) {
+      std::printf(", sim %.2f ms", r.sim_ms);
+      if (r.sim_oracle_ms >= 0.0 && r.sim_ms > 0.0) {
+        std::printf(" (slot-loop %.2f ms, pdes speedup %.2fx)",
+                    r.sim_oracle_ms, r.sim_oracle_ms / r.sim_ms);
+      }
+    }
     std::printf("\n");
+    for (const multihop::CityScaleStage& st : r.stage) {
+      if (!st.sim_kernels_match) kernels_diverged = true;
+    }
+  }
+  if (kernels_diverged) {
+    std::fprintf(stderr, "ERROR: PDES kernel diverged from the slot-loop "
+                         "oracle (determinism contract violated)\n");
+  }
+
+  if (sim_leg) {
+    util::TextTable sim_table(
+        {"n", "stage", "sim p_hn", "sim payoff", "regions", "match"});
+    for (std::size_t s = 0; s < runs.size(); ++s) {
+      for (const multihop::CityScaleStage& st : runs[s].stage) {
+        sim_table.add_row(
+            {std::to_string(runs[s].nodes), std::to_string(st.stage),
+             util::fmt_double(st.sim_p_hn, 4),
+             util::fmt_double(st.sim_payoff, 4),
+             std::to_string(st.sim_regions),
+             st.sim_kernels_match ? "yes" : "NO"});
+      }
+    }
+    std::printf("%s\n", sim_table.to_string().c_str());
   }
 
   write_results_json(path, configs, runs);
@@ -215,5 +309,5 @@ int main(int argc, char** argv) {
   write_timings_json(timings_path, runs);
   std::printf("\nwrote %s (deterministic) and %s (wall clock)\n",
               path.c_str(), timings_path.c_str());
-  return 0;
+  return kernels_diverged ? 1 : 0;
 }

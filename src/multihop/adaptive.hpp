@@ -9,6 +9,13 @@
 // changing who observes whom. Payoffs are the simulator's measured local
 // payoff rates, so the trajectory carries both the convergence facts of
 // Theorem 3 and their price.
+//
+// Kernel choice flows through MultihopConfig::kernel untouched: a
+// simulator configured for the PDES kernel plays every stage window
+// region-parallel, and each mobility refresh (update_topology) rebuilds
+// its region partition from the new positions — trajectories stay
+// bitwise identical to slot-loop runs (the pdes test tier pins the
+// refresh path too).
 #pragma once
 
 #include <cstdint>

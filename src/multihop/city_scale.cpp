@@ -12,6 +12,8 @@
 #include "fault/fault_injector.hpp"
 #include "multihop/local_game.hpp"
 #include "multihop/mobility.hpp"
+#include "multihop/multihop_simulator.hpp"
+#include "parallel/replication.hpp"
 #include "parallel/thread_pool.hpp"
 #include "phy/parameters.hpp"
 
@@ -23,6 +25,56 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+/// Exact (bitwise) equality of two multihop windows — the check
+/// sim_compare_kernels applies per stage. Doubles compare with ==
+/// deliberately: the PDES contract promises identical bits, not just
+/// identical statistics.
+bool results_identical(const MultihopResult& a, const MultihopResult& b) {
+  if (a.slots != b.slots || a.bad_state_slots != b.bad_state_slots ||
+      a.global_payoff_rate != b.global_payoff_rate ||
+      a.aggregate_p_hn != b.aggregate_p_hn ||
+      a.node.size() != b.node.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.node.size(); ++i) {
+    const MultihopNodeStats& x = a.node[i];
+    const MultihopNodeStats& y = b.node[i];
+    if (x.attempts != y.attempts || x.successes != y.successes ||
+        x.sender_collisions != y.sender_collisions ||
+        x.hidden_losses != y.hidden_losses ||
+        x.channel_losses != y.channel_losses ||
+        x.local_time_us != y.local_time_us ||
+        x.payoff_rate != y.payoff_rate ||
+        x.measured_tau != y.measured_tau || x.measured_p != y.measured_p ||
+        x.measured_p_hn != y.measured_p_hn) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One stage's slot-sim window: the converged profile on the stage's
+/// active topology, crashed nodes inactive. The stage seed is a
+/// stream_seed derivation so stages are independent replications.
+MultihopResult run_stage_sim(const CityScaleConfig& config,
+                             const SpatialIndex& index, const Topology& topo,
+                             const std::vector<int>& profile, int stage,
+                             MultihopKernel kernel, PdesRunStats* stats) {
+  MultihopConfig mh;
+  mh.range_m = config.range_m;
+  mh.seed = parallel::stream_seed(config.seed ^ 0xc17ab5c4ULL,
+                                  static_cast<std::size_t>(stage));
+  mh.kernel = kernel;
+  mh.pdes.jobs = config.sim_jobs;
+  MultihopSimulator simulator(mh, topo, profile);
+  for (std::size_t i = 0; i < index.node_count(); ++i) {
+    if (!index.active(i)) simulator.set_node_active(i, false);
+  }
+  MultihopResult r = simulator.run_slots(config.sim_slots);
+  if (stats != nullptr) *stats = simulator.last_pdes_stats();
+  return r;
 }
 
 }  // namespace
@@ -223,6 +275,34 @@ CityScaleResult run_city_scale(const CityScaleConfig& config) {
           static_cast<double>(quasi) / static_cast<double>(counted);
       st.mean_payoff_fraction = sum / static_cast<double>(counted);
       st.min_payoff_fraction = min_frac;
+    }
+
+    // Slot-sim leg: what the converged profile actually earns on the air
+    // (the pricing above is analytical). Kernel and jobs are scheduling
+    // choices only — the PDES determinism contract keeps sim_p_hn and
+    // sim_payoff bitwise identical, which sim_compare_kernels verifies.
+    if (config.sim_slots > 0) {
+      PdesRunStats sim_stats;
+      const bool wants_pdes = config.sim_kernel == MultihopKernel::kPdes ||
+                              config.sim_compare_kernels;
+      const auto t_sim = Clock::now();
+      const MultihopResult sim = run_stage_sim(
+          config, index, topo, stable, k,
+          wants_pdes ? MultihopKernel::kPdes : MultihopKernel::kSlotLoop,
+          wants_pdes ? &sim_stats : nullptr);
+      result.sim_ms += ms_since(t_sim);
+      if (config.sim_compare_kernels) {
+        const auto t_oracle = Clock::now();
+        const MultihopResult oracle =
+            run_stage_sim(config, index, topo, stable, k,
+                          MultihopKernel::kSlotLoop, nullptr);
+        if (result.sim_oracle_ms < 0.0) result.sim_oracle_ms = 0.0;
+        result.sim_oracle_ms += ms_since(t_oracle);
+        st.sim_kernels_match = results_identical(sim, oracle);
+      }
+      st.sim_p_hn = sim.aggregate_p_hn;
+      st.sim_payoff = sim.global_payoff_rate;
+      st.sim_regions = sim_stats.regions;
     }
     result.stage.push_back(st);
   }

@@ -26,6 +26,7 @@
 
 #include "analytical/solver_cache.hpp"
 #include "game/stage_game.hpp"
+#include "multihop/pdes.hpp"
 #include "multihop/spatial_index.hpp"
 
 namespace smac::multihop {
@@ -57,6 +58,19 @@ struct CityScaleConfig {
   /// SolverService pool width for miss batches. Scheduling only: results
   /// are bitwise identical at any value.
   std::size_t solver_jobs = 1;
+  /// Slot-level simulation leg: when sim_slots > 0 each stage also runs
+  /// the TFT-converged profile through MultihopSimulator on the stage's
+  /// active topology (crashed nodes set inactive), measuring the
+  /// realized p_hn and payoff the analytical pricing abstracts away.
+  std::uint64_t sim_slots = 0;
+  /// Kernel of the slot-sim leg. Scheduling only (the PDES determinism
+  /// contract): sim_* outputs are bitwise identical under either value
+  /// and any sim_jobs.
+  MultihopKernel sim_kernel = MultihopKernel::kSlotLoop;
+  std::size_t sim_jobs = 1;  ///< PDES workers (kernel = kPdes only)
+  /// Run BOTH kernels per stage, assert bitwise-equal results, and time
+  /// each — the source of bench_city_scale's speedup column.
+  bool sim_compare_kernels = false;
   std::uint64_t seed = 2026;
 };
 
@@ -75,6 +89,13 @@ struct CityScaleStage {
   double quasi_optimal_fraction = 0.0;  ///< payoff >= 96% of own agreement
   double mean_payoff_fraction = 0.0;
   double min_payoff_fraction = 0.0;
+  // Slot-sim leg (sim_slots > 0 only; kernel- and jobs-invariant).
+  double sim_p_hn = 0.0;        ///< aggregate hidden-node delivery factor
+  double sim_payoff = 0.0;      ///< global payoff rate (Σ_i per-node)
+  std::size_t sim_regions = 0;  ///< PDES regions (0 under pure slot-loop)
+  /// False iff sim_compare_kernels found a kernel divergence (a PDES
+  /// determinism-contract violation; run_city_scale never masks one).
+  bool sim_kernels_match = true;
 };
 
 struct CityScaleResult {
@@ -89,6 +110,10 @@ struct CityScaleResult {
   double update_ms = 0.0;       ///< total incremental updates + churn
   double solve_ms = 0.0;        ///< total class-dedup pricing
   double oracle_build_ms = -1.0;  ///< Θ(n²) build, -1 when not timed
+  double sim_ms = 0.0;            ///< slot-sim leg, configured kernel
+  /// Slot-loop oracle wall clock when sim_compare_kernels is on, -1
+  /// otherwise; sim_oracle_ms / sim_ms is the PDES speedup column.
+  double sim_oracle_ms = -1.0;
 };
 
 /// Arena side (meters) holding E[deg] = target under uniform placement:

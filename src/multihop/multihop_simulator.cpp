@@ -3,20 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "multihop/slot_kernel.hpp"
+
 namespace smac::multihop {
+
+const char* to_string(MultihopKernel kernel) noexcept {
+  switch (kernel) {
+    case MultihopKernel::kSlotLoop:
+      return "slot-loop";
+    case MultihopKernel::kPdes:
+      return "pdes";
+  }
+  return "?";
+}
 
 MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
                                      const std::vector<int>& cw_profile)
     : config_(std::move(config)),
       times_(config_.params.slot_times(config_.mode)),
       topology_(std::move(topology)),
-      rng_(config_.seed),
       active_(cw_profile.size(), 1),
       fault_channel_(config_.faults.channel,
-                     util::Rng(config_.seed ^ 0xb4d57a7eULL)),
-      fault_rng_(config_.seed ^ 0x6e0a2fc3ULL) {
+                     util::Rng(config_.seed ^ 0xb4d57a7eULL)) {
   config_.params.validate();
   config_.faults.validate();
+  config_.pdes.validate();
   if (cw_profile.size() != topology_.node_count()) {
     throw std::invalid_argument("MultihopSimulator: profile/topology mismatch");
   }
@@ -32,8 +43,11 @@ MultihopSimulator::MultihopSimulator(MultihopConfig config, Topology topology,
                    });
   util::Rng master(config_.seed ^ 0xabcdef1234567890ULL);
   nodes_.reserve(cw_profile.size());
+  draw_base_.reserve(cw_profile.size());
   for (int w : cw_profile) {
     nodes_.emplace_back(w, config_.params.max_backoff_stage, master.split());
+    draw_base_.push_back(
+        detail::node_draw_base(config_.seed, draw_base_.size()));
   }
 }
 
@@ -61,188 +75,32 @@ void MultihopSimulator::update_topology(Topology topology) {
     throw std::invalid_argument("update_topology: node count changed");
   }
   topology_ = std::move(topology);
+  partition_.reset();  // region geometry moved with the nodes
 }
 
 MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
   if (slots == 0) throw std::invalid_argument("run_slots: slots == 0");
-  const std::size_t n = nodes_.size();
+  return config_.kernel == MultihopKernel::kPdes ? run_slots_pdes(slots)
+                                                 : run_slots_slot_loop(slots);
+}
 
-  struct Tally {
-    std::uint64_t attempts = 0;
-    std::uint64_t successes = 0;
-    std::uint64_t sender_collisions = 0;
-    std::uint64_t hidden_losses = 0;
-    std::uint64_t channel_losses = 0;
-    std::uint64_t own_attempt_slots = 0;
-    double local_time_us = 0.0;
-  };
-  std::vector<Tally> tally(n);
-  std::uint64_t bad_state_slots = 0;
-  const bool channel_on = config_.faults.channel.enabled();
+namespace detail {
 
-  std::vector<std::size_t> transmitters;
-  std::vector<std::size_t> receiver_of(n);
-  std::vector<char> is_tx(n);
-  // Per-slot outcome of each transmitter: 0 success, 1 sender collision,
-  // 2 hidden loss, 3 no receiver available, 4 clear but corrupted by the
-  // bursty channel.
-  std::vector<int> outcome(n);
-
-  for (std::uint64_t s = 0; s < slots; ++s) {
-    // Faults resolve at the slot boundary: scripted events first (through
-    // the same active_ mask as set_node_active), then one step of the
-    // bursty-loss chain (no draws when the plan is empty).
-    while (next_fault_event_ < config_.faults.events.size() &&
-           config_.faults.events[next_fault_event_].slot <= total_slots_) {
-      const fault::SlotEvent& e = config_.faults.events[next_fault_event_++];
-      active_[e.node] = e.kind == fault::FaultKind::kJoin ? 1 : 0;
-    }
-    fault_channel_.step();
-    if (fault_channel_.bad()) ++bad_state_slots;
-
-    transmitters.clear();
-    std::fill(is_tx.begin(), is_tx.end(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (active_[i] != 0 && nodes_[i].ready()) {
-        transmitters.push_back(i);
-        is_tx[i] = 1;
-      }
-    }
-
-    // Pick receivers and classify outcomes.
-    for (std::size_t i : transmitters) {
-      const auto& nb = topology_.neighbors(i);
-      // Crashed neighbors cannot receive; with the fault layer off every
-      // node is active and this is the plain neighbor list (no extra
-      // draws, same RNG trajectory as before).
-      receiver_scratch_.clear();
-      for (std::size_t j : nb) {
-        if (active_[j] != 0) receiver_scratch_.push_back(j);
-      }
-      if (receiver_scratch_.empty()) {
-        outcome[i] = 3;  // isolated node: nothing to send to
-        continue;
-      }
-      const std::size_t r =
-          receiver_scratch_[rng_.uniform_below(receiver_scratch_.size())];
-      receiver_of[i] = r;
-
-      // Interference tests walk neighbor lists instead of the transmitter
-      // set: in a unit-disk graph `j transmits in range of i` is exactly
-      // `j ∈ neighbors(i) ∧ is_tx[j]`, so the classification (and the RNG
-      // trajectory) is bit-identical to the old geometric scan while the
-      // cost drops from O(|tx|) to O(deg) per test.
-      bool sender_contended = false;
-      bool receiver_jammed = is_tx[r] != 0;  // receiver busy transmitting
-      for (std::size_t j : nb) {
-        if (is_tx[j] != 0) {
-          sender_contended = true;
-          break;  // sender-side contention dominates the classification
-        }
-      }
-      if (!sender_contended && !receiver_jammed) {
-        for (std::size_t j : topology_.neighbors(r)) {
-          if (j == i) continue;
-          if (is_tx[j] != 0) {
-            receiver_jammed = true;
-            break;
-          }
-        }
-      }
-      outcome[i] = sender_contended ? 1 : (receiver_jammed ? 2 : 0);
-    }
-
-    // Bursty-channel corruption of otherwise successful deliveries, in
-    // node-index order so the draw sequence is deterministic. Only runs
-    // with an enabled chain: the spatial simulator models no i.i.d.
-    // channel noise on its own.
-    if (channel_on) {
-      const double per_eff =
-          fault_channel_.effective_per(config_.params.packet_error_rate);
-      if (per_eff > 0.0) {
-        for (std::size_t i : transmitters) {
-          if (outcome[i] == 0 && fault_rng_.bernoulli(per_eff)) outcome[i] = 4;
-        }
-      }
-    }
-
-    // Local channel time: σ if no transmitter in range (incl. self),
-    // T_s if some in-range transmission succeeded, else T_c. A crashed
-    // node senses nothing and accrues no local time. A channel-corrupted
-    // frame (outcome 4) still occupies its full T_s airtime — as in the
-    // single-hop simulator, the loss is at the receiver, not on the air.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (active_[i] == 0) continue;
-      bool any_tx = is_tx[i] != 0;
-      bool any_success = any_tx && (outcome[i] == 0 || outcome[i] == 4);
-      if (!any_success) {
-        for (std::size_t j : topology_.neighbors(i)) {
-          if (is_tx[j] != 0) {
-            any_tx = true;
-            if (outcome[j] == 0 || outcome[j] == 4) {
-              any_success = true;
-              break;
-            }
-          }
-        }
-      }
-      tally[i].local_time_us += !any_tx       ? times_.sigma_us
-                                : any_success ? times_.ts_us
-                                              : times_.tc_us;
-    }
-
-    // Apply outcomes to backoff state and counters. Crashed nodes freeze
-    // their backoff until they rejoin.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (active_[i] == 0) continue;
-      if (!is_tx[i]) {
-        nodes_[i].observe_slot();
-        continue;
-      }
-      Tally& t = tally[i];
-      ++t.own_attempt_slots;
-      switch (outcome[i]) {
-        case 0:
-          ++t.attempts;
-          ++t.successes;
-          nodes_[i].on_success();
-          break;
-        case 1:
-          ++t.attempts;
-          ++t.sender_collisions;
-          nodes_[i].on_collision();
-          break;
-        case 2:
-          ++t.attempts;
-          ++t.hidden_losses;
-          // The sender's own domain was clear: in 802.11 terms it gets no
-          // CTS/ACK and backs off, exactly like a collision.
-          nodes_[i].on_collision();
-          break;
-        case 3:
-          // Isolated: skip the slot without spending energy.
-          nodes_[i].on_success();
-          break;
-        case 4:
-          ++t.attempts;
-          ++t.channel_losses;
-          // No ACK arrives: the sender backs off exactly as after a
-          // collision, just as in the single-hop error path.
-          nodes_[i].on_collision();
-          break;
-      }
-    }
-    ++total_slots_;
-  }
-
+// Shared window finalization: both kernels produce per-node SlotTally
+// arrays and reduce them here, in node order, so the derived doubles are
+// bitwise identical.
+MultihopResult assemble_result(const MultihopConfig& config,
+                               std::uint64_t slots,
+                               std::uint64_t bad_state_slots,
+                               const std::vector<SlotTally>& tally) {
   MultihopResult result;
   result.slots = slots;
   result.bad_state_slots = bad_state_slots;
-  result.node.resize(n);
+  result.node.resize(tally.size());
   std::uint64_t clear_attempts = 0;
   std::uint64_t clear_delivered = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Tally& t = tally[i];
+  for (std::size_t i = 0; i < tally.size(); ++i) {
+    const SlotTally& t = tally[i];
     MultihopNodeStats& out = result.node[i];
     out.attempts = t.attempts;
     out.successes = t.successes;
@@ -252,8 +110,8 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
     out.local_time_us = t.local_time_us;
     out.payoff_rate =
         t.local_time_us > 0.0
-            ? (static_cast<double>(t.successes) * config_.params.gain -
-               static_cast<double>(t.attempts) * config_.params.cost) /
+            ? (static_cast<double>(t.successes) * config.params.gain -
+               static_cast<double>(t.attempts) * config.params.cost) /
                   t.local_time_us
             : 0.0;
     out.measured_tau =
@@ -279,6 +137,87 @@ MultihopResult MultihopSimulator::run_slots(std::uint64_t slots) {
                            static_cast<double>(clear_attempts)
                      : 1.0;
   return result;
+}
+
+}  // namespace detail
+
+MultihopResult MultihopSimulator::run_slots_slot_loop(std::uint64_t slots) {
+  const std::size_t n = nodes_.size();
+
+  std::vector<detail::SlotTally> tally(n);
+  std::uint64_t bad_state_slots = 0;
+  const bool channel_on = config_.faults.channel.enabled();
+
+  std::vector<std::size_t> transmitters;
+  std::vector<char> is_tx(n);
+  std::vector<int> outcome(n);
+
+  auto tx_of = [&](std::size_t j) { return is_tx[j] != 0; };
+  auto active_of = [&](std::size_t j) { return active_[j] != 0; };
+
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    // Faults resolve at the slot boundary: scripted events first (through
+    // the same active_ mask as set_node_active), then one step of the
+    // bursty-loss chain (no draws when the plan is empty).
+    while (next_fault_event_ < config_.faults.events.size() &&
+           config_.faults.events[next_fault_event_].slot <= total_slots_) {
+      const fault::SlotEvent& e = config_.faults.events[next_fault_event_++];
+      active_[e.node] = e.kind == fault::FaultKind::kJoin ? 1 : 0;
+    }
+    fault_channel_.step();
+    if (fault_channel_.bad()) ++bad_state_slots;
+    const double per_eff =
+        channel_on ? fault_channel_.effective_per(config_.params.packet_error_rate)
+                   : 0.0;
+
+    transmitters.clear();
+    std::fill(is_tx.begin(), is_tx.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active_[i] != 0 && nodes_[i].ready()) {
+        transmitters.push_back(i);
+        is_tx[i] = 1;
+      }
+    }
+
+    // Classify each transmitter from its own (node, slot) draw stream:
+    // draw #1 picks the receiver, draw #2 (taken only for an on-air
+    // success under an enabled chain) is the bursty-corruption trial.
+    for (std::size_t i : transmitters) {
+      util::Rng rng = detail::slot_rng(draw_base_[i], total_slots_);
+      int out = detail::classify_transmitter(topology_, i, rng, tx_of,
+                                             active_of, receiver_scratch_);
+      if (out == detail::kOutcomeSuccess && channel_on && per_eff > 0.0 &&
+          rng.bernoulli(per_eff)) {
+        out = detail::kOutcomeChannelLoss;
+      }
+      outcome[i] = out;
+    }
+
+    // Local channel time. A crashed node senses nothing and accrues no
+    // local time.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active_[i] == 0) continue;
+      const bool self_tx = is_tx[i] != 0;
+      tally[i].local_time_us += detail::local_slot_time_us(
+          topology_, i, times_, self_tx,
+          self_tx && detail::on_air_success(outcome[i]), tx_of,
+          [&](std::size_t j) { return detail::on_air_success(outcome[j]); });
+    }
+
+    // Apply outcomes to backoff state and counters. Crashed nodes freeze
+    // their backoff until they rejoin.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active_[i] == 0) continue;
+      if (!is_tx[i]) {
+        nodes_[i].observe_slot();
+        continue;
+      }
+      detail::apply_outcome(outcome[i], tally[i], nodes_[i]);
+    }
+    ++total_slots_;
+  }
+
+  return detail::assemble_result(config_, slots, bad_state_slots, tally);
 }
 
 const std::vector<std::string>& replicated_metric_names() {
@@ -310,6 +249,28 @@ std::vector<double> replicated_metric_row(const MultihopResult& r) {
 }
 
 }  // namespace
+
+MultihopResult run_multihop_slot_loop(const MultihopConfig& config,
+                                      const Topology& topology,
+                                      const std::vector<int>& cw_profile,
+                                      std::uint64_t slots) {
+  MultihopConfig oracle = config;
+  oracle.kernel = MultihopKernel::kSlotLoop;
+  MultihopSimulator simulator(oracle, topology, cw_profile);
+  return simulator.run_slots(slots);
+}
+
+MultihopResult run_multihop_pdes(const MultihopConfig& config,
+                                 const Topology& topology,
+                                 const std::vector<int>& cw_profile,
+                                 std::uint64_t slots, PdesRunStats* stats) {
+  MultihopConfig pdes = config;
+  pdes.kernel = MultihopKernel::kPdes;
+  MultihopSimulator simulator(pdes, topology, cw_profile);
+  MultihopResult result = simulator.run_slots(slots);
+  if (stats != nullptr) *stats = simulator.last_pdes_stats();
+  return result;
+}
 
 MultihopBatch run_replicated(const MultihopConfig& config,
                              const Topology& topology,

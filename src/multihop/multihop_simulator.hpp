@@ -18,13 +18,23 @@
 // its range, T_s if a successful transmission is in range, else T_c, which
 // matches the paper's assumption that a node and its neighbors sense the
 // same channel state. Payoffs are (n_s·g − n_e·e)/local time.
+//
+// Two interchangeable kernels realize the model (MultihopConfig::kernel):
+// the serial global slot loop (the oracle) and a conservative
+// region-parallel PDES kernel (src/multihop/pdes.*, docs/PDES.md). All
+// randomness is keyed per (node, global slot) in the
+// parallel::stream_seed discipline (src/multihop/slot_kernel.hpp), so
+// both kernels — at any worker count and any region partition — are
+// bitwise identical, pinned by the `ctest -L pdes` differential tier.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "multihop/pdes.hpp"
 #include "multihop/topology.hpp"
 #include "parallel/replication.hpp"
 #include "phy/parameters.hpp"
@@ -49,6 +59,13 @@ struct MultihopConfig {
   /// extra RNG draws happen and behavior is unchanged — the spatial
   /// simulator models no i.i.d. channel noise on its own.
   fault::SlotFaultPlan faults;
+  /// Engine choice. kSlotLoop is the serial reference loop (the oracle);
+  /// kPdes is the conservative region-parallel kernel (docs/PDES.md).
+  /// Both are bitwise identical at any pdes setting — the `ctest -L
+  /// pdes` differential tier pins it — so the choice is purely about
+  /// wall clock.
+  MultihopKernel kernel = MultihopKernel::kSlotLoop;
+  PdesOptions pdes;
 };
 
 /// Per-node measurement of one window.
@@ -104,26 +121,60 @@ class MultihopSimulator {
   /// Replaces the topology (same node count) — the mobility hook.
   void update_topology(Topology topology);
 
-  /// Runs `slots` global slots and returns this window's measurements.
+  /// Runs `slots` global slots and returns this window's measurements,
+  /// through the kernel config_.kernel selects. The result — and the
+  /// post-window backoff/active/channel state, so later windows chain
+  /// identically — is a pure function of (seed, topology, profile, fault
+  /// plan, slots): kernel choice, pdes options, and worker scheduling
+  /// never enter (the `ctest -L pdes` contract).
   MultihopResult run_slots(std::uint64_t slots);
 
   /// Global slots simulated since construction (scripted SlotEvent
   /// indices refer to this counter).
   std::uint64_t total_slots() const noexcept { return total_slots_; }
 
+  /// Diagnostics of the most recent kPdes window (zeros before the
+  /// first one, or under kSlotLoop).
+  const PdesRunStats& last_pdes_stats() const noexcept {
+    return last_pdes_;
+  }
+
  private:
+  friend struct PdesEngine;  // pdes.cpp: the region-parallel run path
+
+  MultihopResult run_slots_slot_loop(std::uint64_t slots);
+  MultihopResult run_slots_pdes(std::uint64_t slots);
+
   MultihopConfig config_;
   phy::SlotTimes times_;
   Topology topology_;
   std::vector<sim::DcfNode> nodes_;
-  util::Rng rng_;
+  std::vector<std::uint64_t> draw_base_;  ///< per-node (node,slot) bases
   std::vector<std::uint8_t> active_;
   std::vector<std::size_t> receiver_scratch_;
   fault::GilbertElliottChannel fault_channel_;
-  util::Rng fault_rng_;  ///< corruption draws (untouched without a chain)
   std::size_t next_fault_event_ = 0;
   std::uint64_t total_slots_ = 0;
+  /// Region partition cache for kPdes; rebuilt when the topology moves.
+  std::optional<RegionPartition> partition_;
+  PdesRunStats last_pdes_;
 };
+
+/// One-shot serial slot-loop run — THE oracle the PDES differential and
+/// fuzz tiers compare against (the same pattern build_topology_full
+/// serves for the spatial index). Ignores config.kernel.
+MultihopResult run_multihop_slot_loop(const MultihopConfig& config,
+                                      const Topology& topology,
+                                      const std::vector<int>& cw_profile,
+                                      std::uint64_t slots);
+
+/// One-shot conservative-PDES run with config.pdes. Bitwise equal to
+/// run_multihop_slot_loop on the same inputs, at any jobs/partition.
+MultihopResult run_multihop_pdes(const MultihopConfig& config,
+                                 const Topology& topology,
+                                 const std::vector<int>& cw_profile,
+                                 std::uint64_t slots,
+                                 PdesRunStats* stats = nullptr);
 
 /// Streaming aggregate of a replicated Monte-Carlo batch of one multihop
 /// configuration. Individual MultihopResult windows are reduced on the

@@ -1,0 +1,38 @@
+#include "parallel/worker_team.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace smac::parallel {
+
+void run_worker_team(std::size_t workers,
+                     const std::function<void(std::size_t)>& body) {
+  workers = std::clamp<std::size_t>(workers, 1, ThreadPool::kMaxThreads);
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads.emplace_back([&body, &errors, w] {
+      try {
+        body(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  try {
+    body(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace smac::parallel

@@ -1,0 +1,36 @@
+// Scoped fork-join team of cooperating workers.
+//
+// ThreadPool exists for *independent* task fan-out and explicitly forbids
+// use inside a simulator (its header's contract). A conservative PDES
+// kernel is the opposite shape: a fixed set of long-lived workers that
+// cooperate through shared synchronization (horizon barriers) for the
+// duration of one engine call. run_worker_team is that primitive: fork
+// `workers` threads running the same body, join them all, done.
+//
+// Determinism contract: the team provides *no* ordering guarantees —
+// reproducible callers must make every result a pure function of their
+// own seeded state (the stream_seed discipline of replication.hpp), never
+// of which worker ran what when. The multihop PDES kernel
+// (src/multihop/pdes.cpp) is the canonical caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace smac::parallel {
+
+/// Runs body(worker) for worker = 0..workers-1 on `workers` cooperating
+/// threads and blocks until every body returns. Worker 0 runs on the
+/// calling thread, so workers <= 1 spawns no thread at all (the serial
+/// path stays thread-free). `workers` is clamped to
+/// [1, ThreadPool::kMaxThreads].
+///
+/// A body that throws terminates only its own worker — the team still
+/// joins everyone, then rethrows the pending exception of the lowest
+/// worker index (deterministic choice). Bodies that wait on each other
+/// must therefore share a cancellation flag and set it before throwing,
+/// or the join never completes.
+void run_worker_team(std::size_t workers,
+                     const std::function<void(std::size_t)>& body);
+
+}  // namespace smac::parallel

@@ -1,0 +1,145 @@
+// PDES oracle-equivalence fuzz (`ctest -L fuzz`): randomized
+// fault::SlotFaultPlans and random-waypoint window schedules through
+// both multihop kernels. Every window must yield identical per-node
+// p_hn/payoff trajectories (bitwise — the determinism contract of
+// docs/PDES.md) and uphold the lookahead invariant: zero violations, a
+// horizon lead of at most one slot, i.e. no region ever observes a
+// carrier-sense neighbor's unpublished past.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "multihop/mobility.hpp"
+#include "multihop/multihop_simulator.hpp"
+#include "multihop/pdes.hpp"
+#include "multihop/topology.hpp"
+#include "util/rng.hpp"
+
+namespace smac::multihop {
+namespace {
+
+fault::SlotFaultPlan random_plan(util::Rng& rng, std::size_t n,
+                                 std::uint64_t horizon) {
+  fault::SlotFaultPlan plan;
+  const std::uint64_t events = rng.uniform_below(9);  // 0..8, often none
+  for (std::uint64_t e = 0; e < events; ++e) {
+    fault::SlotEvent ev;
+    ev.slot = rng.uniform_below(horizon);
+    ev.node = rng.uniform_below(n);
+    ev.kind = rng.bernoulli(0.5) ? fault::FaultKind::kCrash
+                                 : fault::FaultKind::kJoin;
+    plan.events.push_back(ev);
+  }
+  if (rng.bernoulli(0.5)) {
+    plan.channel.p_good_to_bad = rng.uniform_real(0.005, 0.1);
+    plan.channel.p_bad_to_good = rng.uniform_real(0.05, 0.5);
+    plan.channel.per_bad = rng.uniform_real(0.1, 0.9);
+  }
+  return plan;
+}
+
+PdesOptions random_options(util::Rng& rng) {
+  PdesOptions opt;
+  const std::size_t jobs_pick[] = {1, 2, 4, 8};
+  opt.jobs = jobs_pick[rng.uniform_below(4)];
+  switch (rng.uniform_below(4)) {
+    case 0:
+      opt.single_region = true;
+      break;
+    case 1:
+      opt.region_per_node = true;
+      break;
+    default:
+      opt.region_edge_factor = rng.uniform_real(1.0, 5.0);
+      break;
+  }
+  return opt;
+}
+
+void expect_identical(const MultihopResult& a, const MultihopResult& b) {
+  ASSERT_EQ(a.node.size(), b.node.size());
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.bad_state_slots, b.bad_state_slots);
+  EXPECT_EQ(a.global_payoff_rate, b.global_payoff_rate);
+  EXPECT_EQ(a.aggregate_p_hn, b.aggregate_p_hn);
+  for (std::size_t i = 0; i < a.node.size(); ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    EXPECT_EQ(a.node[i].attempts, b.node[i].attempts);
+    EXPECT_EQ(a.node[i].successes, b.node[i].successes);
+    EXPECT_EQ(a.node[i].sender_collisions, b.node[i].sender_collisions);
+    EXPECT_EQ(a.node[i].hidden_losses, b.node[i].hidden_losses);
+    EXPECT_EQ(a.node[i].channel_losses, b.node[i].channel_losses);
+    EXPECT_EQ(a.node[i].local_time_us, b.node[i].local_time_us);
+    EXPECT_EQ(a.node[i].payoff_rate, b.node[i].payoff_rate);
+    EXPECT_EQ(a.node[i].measured_p_hn, b.node[i].measured_p_hn);
+  }
+}
+
+TEST(PdesFuzz, RandomPlansAndWaypointSchedules) {
+  util::Rng master(0x9d5efuLL);
+  const int kIterations = 24;
+  for (int it = 0; it < kIterations; ++it) {
+    SCOPED_TRACE("iteration " + std::to_string(it));
+    const std::size_t n = 8 + master.uniform_below(45);
+    const double arena = master.uniform_real(400.0, 2400.0);
+    const int windows = 1 + static_cast<int>(master.uniform_below(3));
+    const std::uint64_t slots_per_window = 150 + master.uniform_below(450);
+
+    MobilityConfig mob;
+    mob.width_m = arena;
+    mob.height_m = arena;
+    mob.v_max_mps = master.uniform_real(0.0, 50.0);
+    mob.seed = master();
+    RandomWaypointModel mobility(mob, n);
+
+    std::vector<int> profile(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      profile[i] = 2 + static_cast<int>(master.uniform_below(96));
+    }
+
+    MultihopConfig config;
+    config.seed = master();
+    config.faults = random_plan(
+        master, n,
+        static_cast<std::uint64_t>(windows) * slots_per_window + 50);
+    if (master.bernoulli(0.4)) {
+      config.params.packet_error_rate = master.uniform_real(0.0, 0.15);
+    }
+
+    MultihopConfig pdes_config = config;
+    pdes_config.kernel = MultihopKernel::kPdes;
+    pdes_config.pdes = random_options(master);
+
+    Topology topo(mobility.positions(), 250.0);
+    MultihopSimulator oracle(config, topo, profile);
+    MultihopSimulator pdes(pdes_config, topo, profile);
+
+    for (int w = 0; w < windows; ++w) {
+      SCOPED_TRACE("window " + std::to_string(w));
+      const MultihopResult a = oracle.run_slots(slots_per_window);
+      const MultihopResult b = pdes.run_slots(slots_per_window);
+      expect_identical(b, a);
+
+      // Lookahead invariant: conservative execution never lets a region
+      // read past a dependency's published horizon, and published
+      // horizons never drift more than the one-slot lookahead apart.
+      const PdesRunStats& stats = pdes.last_pdes_stats();
+      EXPECT_EQ(stats.lookahead_violations, 0u);
+      EXPECT_LE(stats.max_horizon_lead, 1u);
+      EXPECT_EQ(stats.slots, slots_per_window);
+
+      if (w + 1 < windows) {
+        mobility.advance(master.uniform_real(1.0, 60.0));
+        Topology moved(mobility.positions(), 250.0);
+        oracle.update_topology(moved);
+        pdes.update_topology(moved);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smac::multihop

@@ -1,0 +1,169 @@
+// RegionPartition structure and dependency-coverage properties
+// (docs/PDES.md): the partition must be a pure function of positions,
+// its dependency graph must cover every cross-region pair within the
+// 3·range interference lookahead (checked against the Θ(n²) oracle
+// covers_dependencies), and the degenerate partitions must keep the
+// same guarantee.
+#include "multihop/pdes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "multihop/topology.hpp"
+#include "util/rng.hpp"
+
+namespace smac::multihop {
+namespace {
+
+Topology random_topology(util::Rng& rng, std::size_t n, double arena,
+                         double range = 250.0) {
+  std::vector<Vec2> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform_real(0.0, arena), rng.uniform_real(0.0, arena)});
+  }
+  return Topology(pos, range);
+}
+
+void expect_well_formed(const RegionPartition& part, const Topology& topo) {
+  const std::size_t n = topo.node_count();
+  ASSERT_EQ(part.node_count(), n);
+  EXPECT_DOUBLE_EQ(part.lookahead_m(), 3.0 * topo.range_m());
+
+  // members/region_of/owned_pos are mutually consistent; members ascend.
+  std::size_t covered = 0;
+  for (std::size_t r = 0; r < part.region_count(); ++r) {
+    const std::vector<std::size_t>& m = part.members(r);
+    EXPECT_FALSE(m.empty()) << "empty region " << r;
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      EXPECT_EQ(part.region_of(m[k]), r);
+      EXPECT_EQ(part.owned_pos(m[k]), k);
+    }
+    covered += m.size();
+  }
+  EXPECT_EQ(covered, n);
+
+  // deps: sorted, self-free, symmetric; edge count matches.
+  std::size_t edges = 0;
+  for (std::size_t r = 0; r < part.region_count(); ++r) {
+    const std::vector<std::size_t>& d = part.deps(r);
+    EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+    EXPECT_TRUE(std::adjacent_find(d.begin(), d.end()) == d.end());
+    for (std::size_t q : d) {
+      EXPECT_NE(q, r);
+      ASSERT_LT(q, part.region_count());
+      const std::vector<std::size_t>& back = part.deps(q);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), r))
+          << "asymmetric dep " << r << " -> " << q;
+    }
+    edges += d.size();
+  }
+  EXPECT_EQ(part.dep_edge_count(), edges);
+
+  EXPECT_TRUE(part.covers_dependencies(topo));
+}
+
+TEST(PdesOptions, ValidateRejectsBadInputs) {
+  PdesOptions bad;
+  bad.region_edge_factor = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.region_edge_factor = -2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  PdesOptions both;
+  both.single_region = true;
+  both.region_per_node = true;
+  EXPECT_THROW(both.validate(), std::invalid_argument);
+
+  PdesOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(RegionPartition, SingleRegionOwnsEverything) {
+  util::Rng rng(11);
+  const Topology topo = random_topology(rng, 40, 1200.0);
+  PdesOptions opt;
+  opt.single_region = true;
+  const RegionPartition part(topo, opt);
+  EXPECT_EQ(part.region_count(), 1u);
+  EXPECT_TRUE(part.deps(0).empty());
+  EXPECT_EQ(part.dep_edge_count(), 0u);
+  expect_well_formed(part, topo);
+}
+
+TEST(RegionPartition, RegionPerNodeIsMaximal) {
+  util::Rng rng(12);
+  const Topology topo = random_topology(rng, 30, 900.0);
+  PdesOptions opt;
+  opt.region_per_node = true;
+  const RegionPartition part(topo, opt);
+  EXPECT_EQ(part.region_count(), topo.node_count());
+  expect_well_formed(part, topo);
+}
+
+TEST(RegionPartition, TilePartitionCoversDependencies) {
+  // Sweep densities so tiles range from mostly-empty to crowded.
+  for (const double arena : {600.0, 1500.0, 3000.0}) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      util::Rng rng(seed);
+      const Topology topo = random_topology(rng, 70, arena);
+      const RegionPartition part(topo, PdesOptions{});
+      expect_well_formed(part, topo);
+    }
+  }
+}
+
+TEST(RegionPartition, SmallTilesStillCoverDependencies) {
+  // Tiles smaller than the lookahead force dependencies beyond the
+  // immediate 8 tile neighbors — the distance-based dependency scan must
+  // not assume tile adjacency.
+  util::Rng rng(5);
+  const Topology topo = random_topology(rng, 60, 2000.0);
+  PdesOptions opt;
+  opt.region_edge_factor = 1.0;
+  const RegionPartition part(topo, opt);
+  EXPECT_GT(part.region_count(), 1u);
+  expect_well_formed(part, topo);
+}
+
+TEST(RegionPartition, PureFunctionOfPositions) {
+  util::Rng rng(9);
+  const Topology topo = random_topology(rng, 50, 1400.0);
+  const RegionPartition a(topo, PdesOptions{});
+  const RegionPartition b(topo, PdesOptions{});
+  ASSERT_EQ(a.region_count(), b.region_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    EXPECT_EQ(a.region_of(i), b.region_of(i));
+  }
+  for (std::size_t r = 0; r < a.region_count(); ++r) {
+    EXPECT_EQ(a.members(r), b.members(r));
+    EXPECT_EQ(a.deps(r), b.deps(r));
+  }
+}
+
+TEST(RegionPartition, EmptyAndSingleNodeBoundaries) {
+  // Topology itself refuses zero nodes, so the partition never sees an
+  // empty node set; the smallest real input is a lone node.
+  EXPECT_THROW(Topology(std::vector<Vec2>{}, 250.0), std::invalid_argument);
+
+  const Topology topo(std::vector<Vec2>{{10.0, 20.0}}, 250.0);
+  const RegionPartition part(topo, PdesOptions{});
+  EXPECT_EQ(part.node_count(), 1u);
+  EXPECT_EQ(part.region_count(), 1u);
+  EXPECT_EQ(part.region_of(0), 0u);
+  EXPECT_TRUE(part.deps(0).empty());
+  EXPECT_EQ(part.dep_edge_count(), 0u);
+  EXPECT_TRUE(part.covers_dependencies(topo));
+}
+
+TEST(MultihopKernelNames, RoundTrip) {
+  EXPECT_STREQ(to_string(MultihopKernel::kSlotLoop), "slot-loop");
+  EXPECT_STREQ(to_string(MultihopKernel::kPdes), "pdes");
+}
+
+}  // namespace
+}  // namespace smac::multihop
